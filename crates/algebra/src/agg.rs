@@ -1,0 +1,206 @@
+//! Aggregate functions and accumulators.
+//!
+//! Table 2 of the paper lists the aggregation each graph algorithm relies
+//! on: `max` (BFS, Keyword-Search), `min` (Bellman-Ford, Floyd-Warshall,
+//! Connected-Component), `sum` (PageRank, SimRank, HITS, RWR), `count`
+//! (Label-Propagation, K-core). These five (plus `avg` for completeness)
+//! are the `⊕` half of every semiring used in MM-join/MV-join.
+
+use aio_storage::Value;
+use std::fmt;
+
+/// An aggregate function (the `⊕` of a semiring, or a plain SQL aggregate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Sum,
+    Min,
+    Max,
+    Count,
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+        };
+        f.write_str(s)
+    }
+}
+
+impl AggFunc {
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "sum" => AggFunc::Sum,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "count" => AggFunc::Count,
+            "avg" => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+
+    pub fn accumulator(self) -> Accumulator {
+        Accumulator {
+            func: self,
+            state: State::Empty,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum State {
+    Empty,
+    Int(i64),
+    Float(f64),
+    /// running (sum, count) for AVG
+    Avg(f64, i64),
+    Count(i64),
+    Val(Value),
+}
+
+/// Streaming accumulator for one aggregate over one group.
+#[derive(Clone, Debug)]
+pub struct Accumulator {
+    func: AggFunc,
+    state: State,
+}
+
+impl Accumulator {
+    /// Fold one input value. SQL semantics: NULLs are ignored by every
+    /// aggregate (and `count` counts only non-NULL arguments).
+    pub fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        match self.func {
+            AggFunc::Count => {
+                let c = match self.state {
+                    State::Count(c) => c,
+                    _ => 0,
+                };
+                self.state = State::Count(c + 1);
+            }
+            AggFunc::Sum => {
+                self.state = match (&self.state, v) {
+                    (State::Empty, Value::Int(i)) => State::Int(*i),
+                    (State::Empty, _) => State::Float(v.as_f64().unwrap_or(0.0)),
+                    (State::Int(a), Value::Int(i)) => State::Int(a.wrapping_add(*i)),
+                    (State::Int(a), _) => State::Float(*a as f64 + v.as_f64().unwrap_or(0.0)),
+                    (State::Float(a), _) => State::Float(a + v.as_f64().unwrap_or(0.0)),
+                    (s, _) => s.clone(),
+                };
+            }
+            AggFunc::Avg => {
+                let (s, c) = match self.state {
+                    State::Avg(s, c) => (s, c),
+                    _ => (0.0, 0),
+                };
+                self.state = State::Avg(s + v.as_f64().unwrap_or(0.0), c + 1);
+            }
+            AggFunc::Min | AggFunc::Max => {
+                self.state = match &self.state {
+                    State::Empty => State::Val(v.clone()),
+                    State::Val(cur) => {
+                        let keep_cur = match cur.sql_cmp(v) {
+                            Some(std::cmp::Ordering::Less) => self.func == AggFunc::Min,
+                            Some(std::cmp::Ordering::Greater) => self.func == AggFunc::Max,
+                            _ => true,
+                        };
+                        State::Val(if keep_cur { cur.clone() } else { v.clone() })
+                    }
+                    s => s.clone(),
+                };
+            }
+        }
+    }
+
+    /// The aggregate result. Empty groups: `count` is 0, the rest NULL
+    /// (SQL semantics).
+    pub fn finish(self) -> Value {
+        match (self.func, self.state) {
+            (AggFunc::Count, State::Count(c)) => Value::Int(c),
+            (AggFunc::Count, State::Empty) => Value::Int(0),
+            (_, State::Empty) => Value::Null,
+            (_, State::Int(i)) => Value::Int(i),
+            (_, State::Float(f)) => Value::Float(f),
+            (_, State::Avg(s, c)) => Value::Float(s / c as f64),
+            (_, State::Val(v)) => v,
+            (f, s) => unreachable!("accumulator {f} in state {s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: AggFunc, vals: &[Value]) -> Value {
+        let mut acc = f.accumulator();
+        for v in vals {
+            acc.update(v);
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn sum_stays_integer_until_float_appears() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Int(2)]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Null, Value::Int(2), Value::Null]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            run(AggFunc::Count, &[Value::Null, Value::Int(2), Value::Int(3)]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn min_max_mixed_numeric() {
+        assert_eq!(
+            run(AggFunc::Min, &[Value::Int(3), Value::Float(2.5), Value::Int(4)]),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            run(AggFunc::Max, &[Value::Int(3), Value::Float(2.5)]),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn empty_group_semantics() {
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, &[]), Value::Null);
+    }
+
+    #[test]
+    fn avg_divides() {
+        assert_eq!(
+            run(AggFunc::Avg, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Float(2.0)
+        );
+    }
+
+    #[test]
+    fn from_name_case_insensitive() {
+        assert_eq!(AggFunc::from_name("SUM"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("sqrt"), None);
+    }
+}

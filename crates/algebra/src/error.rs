@@ -1,0 +1,44 @@
+//! Errors raised while planning or evaluating relational algebra.
+
+use aio_storage::StorageError;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// Forwarded storage error (missing tables/columns etc.).
+    Storage(StorageError),
+    /// A scalar expression was typed or used incorrectly.
+    Expr(String),
+    /// An aggregate appeared where none is allowed, or vice versa.
+    Aggregate(String),
+    /// A plan was malformed (e.g. union of different arities).
+    Plan(String),
+    /// The non-unique update condition of union-by-update (Section 4.1:
+    /// "we do not allow multiple s to match a single r, since the answer is
+    /// not unique").
+    NonUniqueUpdate(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Storage(e) => write!(f, "{e}"),
+            AlgebraError::Expr(m) => write!(f, "expression error: {m}"),
+            AlgebraError::Aggregate(m) => write!(f, "aggregate error: {m}"),
+            AlgebraError::Plan(m) => write!(f, "plan error: {m}"),
+            AlgebraError::NonUniqueUpdate(m) => {
+                write!(f, "union-by-update is not unique: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<StorageError> for AlgebraError {
+    fn from(e: StorageError) -> Self {
+        AlgebraError::Storage(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, AlgebraError>;

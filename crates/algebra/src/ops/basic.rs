@@ -1,0 +1,228 @@
+//! The six basic relational-algebra operations (plus `distinct`).
+//!
+//! Section 4.1: "all the 4 relational algebra operations can be defined
+//! using the 6 basic relational algebra operations (selection σ, projection
+//! Π, union ∪, set difference −, Cartesian product ×, and rename ρ),
+//! together with group-by & aggregation". These are those six.
+
+use crate::error::{AlgebraError, Result};
+use crate::expr::ScalarExpr;
+use aio_storage::{Column, DataType, Relation, Schema};
+
+/// σ — keep rows satisfying `pred` (unbound; bound here against the input).
+pub fn select(input: &Relation, pred: &ScalarExpr) -> Result<Relation> {
+    let bound = pred.bind(input.schema())?;
+    let mut out = Relation::new(input.schema().clone());
+    for row in input.iter() {
+        if bound.eval_pred(row)? {
+            out.push(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Infer an output column for a projection item.
+fn out_column(expr: &ScalarExpr, alias: &str, input: &Schema) -> Column {
+    let ty = match expr {
+        ScalarExpr::BoundCol(i) => input.columns()[*i].ty,
+        ScalarExpr::Lit(v) => match v {
+            aio_storage::Value::Int(_) => DataType::Int,
+            aio_storage::Value::Float(_) => DataType::Float,
+            aio_storage::Value::Text(_) => DataType::Text,
+            aio_storage::Value::Null => DataType::Any,
+        },
+        _ => DataType::Any,
+    };
+    Column::new(alias, ty)
+}
+
+/// Π — compute one output column per `(expr, alias)` item.
+pub fn project(input: &Relation, items: &[(ScalarExpr, String)]) -> Result<Relation> {
+    let bound: Vec<(ScalarExpr, &str)> = items
+        .iter()
+        .map(|(e, a)| Ok((e.bind(input.schema())?, a.as_str())))
+        .collect::<Result<_>>()?;
+    let schema = Schema::new(
+        bound
+            .iter()
+            .map(|(e, a)| out_column(e, a, input.schema()))
+            .collect(),
+    );
+    let mut out = Relation::new(schema);
+    for row in input.iter() {
+        let vals: Vec<aio_storage::Value> = bound
+            .iter()
+            .map(|(e, _)| e.eval(row))
+            .collect::<Result<_>>()?;
+        out.push(vals.into_boxed_slice())?;
+    }
+    Ok(out)
+}
+
+/// ρ — rename: re-qualify every column with `alias` (what `FROM t AS a`
+/// does). Row data is shared structurally; only the schema changes.
+pub fn rename(input: &Relation, alias: &str) -> Relation {
+    let mut out = Relation::new(input.schema().with_qualifier(alias));
+    out.rows_mut().extend(input.iter().cloned());
+    out
+}
+
+fn check_same_arity(a: &Relation, b: &Relation, op: &str) -> Result<()> {
+    if a.schema().arity() != b.schema().arity() {
+        return Err(AlgebraError::Plan(format!(
+            "{op} of different arities: {} vs {}",
+            a.schema().arity(),
+            b.schema().arity()
+        )));
+    }
+    Ok(())
+}
+
+/// ∪ (bag) — `UNION ALL`.
+pub fn union_all(a: &Relation, b: &Relation) -> Result<Relation> {
+    check_same_arity(a, b, "union all")?;
+    let mut out = Relation::new(a.schema().clone());
+    out.rows_mut().reserve(a.len() + b.len());
+    out.rows_mut().extend(a.iter().cloned());
+    out.rows_mut().extend(b.iter().cloned());
+    Ok(out)
+}
+
+/// ∪ (set) — `UNION`, eliminating duplicates (what PostgreSQL alone allows
+/// across the initial and recursive queries, Table 1 row C).
+pub fn union_distinct(a: &Relation, b: &Relation) -> Result<Relation> {
+    let mut out = union_all(a, b)?;
+    out.dedup_rows();
+    Ok(out)
+}
+
+/// `DISTINCT` over one relation.
+pub fn distinct(a: &Relation) -> Relation {
+    let mut out = a.clone();
+    out.dedup_rows();
+    out
+}
+
+/// − — set difference (`EXCEPT`): rows of `a` not occurring in `b`,
+/// deduplicated.
+pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
+    check_same_arity(a, b, "except")?;
+    let mut seen: aio_storage::FxHashSet<&aio_storage::Row> = Default::default();
+    for row in b.iter() {
+        seen.insert(row);
+    }
+    let mut out = Relation::new(a.schema().clone());
+    let mut emitted: aio_storage::FxHashSet<aio_storage::Row> = Default::default();
+    for row in a.iter() {
+        if !seen.contains(row) && emitted.insert(row.clone()) {
+            out.push(row.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// × — Cartesian product; output schema is the concatenation.
+pub fn product(a: &Relation, b: &Relation) -> Result<Relation> {
+    let schema = a.schema().join(b.schema());
+    let mut out = Relation::new(schema);
+    out.rows_mut().reserve(a.len() * b.len());
+    for ra in a.iter() {
+        for rb in b.iter() {
+            let mut row = Vec::with_capacity(ra.len() + rb.len());
+            row.extend_from_slice(ra);
+            row.extend_from_slice(rb);
+            out.rows_mut().push(row.into_boxed_slice());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use aio_storage::{node_schema, row, Value};
+
+    fn nodes(pairs: &[(i64, f64)]) -> Relation {
+        let mut r = Relation::new(node_schema());
+        for &(id, w) in pairs {
+            r.push(row![id, w]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn select_filters_by_predicate() {
+        let r = nodes(&[(1, 0.5), (2, 1.5), (3, 2.5)]);
+        let p = ScalarExpr::binary(BinOp::Gt, ScalarExpr::col("vw"), ScalarExpr::lit(1.0));
+        let out = select(&r, &p).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let r = nodes(&[(1, 2.0)]);
+        let out = project(
+            &r,
+            &[
+                (ScalarExpr::col("ID"), "ID".into()),
+                (
+                    ScalarExpr::binary(BinOp::Mul, ScalarExpr::col("vw"), ScalarExpr::lit(10.0)),
+                    "scaled".into(),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0][1], Value::Float(20.0));
+        assert_eq!(out.schema().index_of("scaled").unwrap(), 1);
+    }
+
+    #[test]
+    fn rename_requalifies() {
+        let r = nodes(&[(1, 2.0)]);
+        let out = rename(&r, "V1");
+        assert!(out.schema().index_of("V1.ID").is_ok());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn union_all_keeps_duplicates_union_removes() {
+        let a = nodes(&[(1, 1.0), (2, 2.0)]);
+        let b = nodes(&[(1, 1.0)]);
+        assert_eq!(union_all(&a, &b).unwrap().len(), 3);
+        assert_eq!(union_distinct(&a, &b).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let a = nodes(&[(1, 1.0)]);
+        let mut b = Relation::new(Schema::of(&[("x", DataType::Int)]));
+        b.push(row![1]).unwrap();
+        assert!(union_all(&a, &b).is_err());
+        assert!(difference(&a, &b).is_err());
+    }
+
+    #[test]
+    fn difference_is_set_semantics() {
+        let a = nodes(&[(1, 1.0), (1, 1.0), (2, 2.0)]);
+        let b = nodes(&[(2, 2.0)]);
+        let out = difference(&a, &b).unwrap();
+        assert_eq!(out.len(), 1, "duplicates collapsed, (2,2.0) removed");
+    }
+
+    #[test]
+    fn product_concatenates() {
+        let a = nodes(&[(1, 1.0), (2, 2.0)]);
+        let b = nodes(&[(9, 9.0)]);
+        let out = product(&a, &b).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().arity(), 4);
+        assert_eq!(out.rows()[0][2], Value::Int(9));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let a = nodes(&[(1, 1.0), (1, 1.0)]);
+        assert_eq!(distinct(&a).len(), 1);
+    }
+}

@@ -1,0 +1,580 @@
+//! θ-joins: inner, left-outer and full-outer, under three physical
+//! strategies.
+//!
+//! The strategy is picked by the engine profile (hash join for
+//! `oracle_like`/`db2_like`, sort-merge for `postgres_like`); a sorted index
+//! lets the merge join skip its sort (Exp-A / Fig. 10). Joins with no
+//! equality keys fall back to a nested loop over the residual predicate.
+//!
+//! SQL join semantics: NULL keys never match (even NULL = NULL).
+
+use crate::error::Result;
+use crate::expr::ScalarExpr;
+use crate::profile::JoinStrategy;
+use crate::stats::ExecStats;
+use aio_storage::{Key, Relation, Row, Value};
+
+/// Outer-join flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    /// Keep unmatched left rows, NULL-padded on the right (the anti-join
+    /// implementation `left outer join ... where ... is null`).
+    Left,
+    /// Keep unmatched rows of both sides (the union-by-update
+    /// implementation `full outer join` + `coalesce`).
+    Full,
+}
+
+/// Resolved equi-join keys: positions into the left / right schemas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinKeys {
+    pub left: Vec<usize>,
+    pub right: Vec<usize>,
+}
+
+impl JoinKeys {
+    pub fn resolve(
+        left: &Relation,
+        right: &Relation,
+        on: &[(String, String)],
+    ) -> Result<JoinKeys> {
+        let mut l = Vec::with_capacity(on.len());
+        let mut r = Vec::with_capacity(on.len());
+        for (ln, rn) in on {
+            l.push(left.schema().index_of(ln)?);
+            r.push(right.schema().index_of(rn)?);
+        }
+        Ok(JoinKeys { left: l, right: r })
+    }
+}
+
+/// Row orders for merge joins: either a prebuilt index order or none
+/// (the join sorts, paying for it).
+#[derive(Default)]
+pub struct JoinOrders<'a> {
+    pub left: Option<&'a [u32]>,
+    pub right: Option<&'a [u32]>,
+}
+
+fn concat(a: &Row, b: &Row) -> Row {
+    let mut row = Vec::with_capacity(a.len() + b.len());
+    row.extend_from_slice(a);
+    row.extend_from_slice(b);
+    row.into_boxed_slice()
+}
+
+fn null_row(arity: usize) -> Row {
+    vec![Value::Null; arity].into_boxed_slice()
+}
+
+/// θ-join of `left` and `right` on equality `keys` plus an optional bound
+/// `residual` predicate over the concatenated schema.
+pub fn join(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    residual: Option<&ScalarExpr>,
+    jt: JoinType,
+    strategy: JoinStrategy,
+    orders: JoinOrders<'_>,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
+    stats.joins += 1;
+    stats.rows_scanned += (left.len() + right.len()) as u64;
+    let schema = left.schema().join(right.schema());
+    let residual = match residual {
+        Some(e) => Some(e.bind(&schema)?),
+        None => None,
+    };
+    let out = if keys.left.is_empty() {
+        nested_loop(left, right, &residual, jt, schema)?
+    } else {
+        match strategy {
+            JoinStrategy::Hash => hash_join(left, right, keys, &residual, jt, schema)?,
+            JoinStrategy::SortMerge => {
+                merge_join(left, right, keys, &residual, jt, schema, orders, stats)?
+            }
+            JoinStrategy::NestedLoop => {
+                keyed_nested_loop(left, right, keys, &residual, jt, schema)?
+            }
+        }
+    };
+    stats.rows_produced += out.len() as u64;
+    Ok(out)
+}
+
+fn keep(residual: &Option<ScalarExpr>, row: &Row) -> Result<bool> {
+    match residual {
+        Some(p) => p.eval_pred(row),
+        None => Ok(true),
+    }
+}
+
+fn nested_loop(
+    left: &Relation,
+    right: &Relation,
+    residual: &Option<ScalarExpr>,
+    jt: JoinType,
+    schema: aio_storage::Schema,
+) -> Result<Relation> {
+    let mut out = Relation::new(schema);
+    let mut right_matched = vec![false; right.len()];
+    for lrow in left.iter() {
+        let mut matched = false;
+        for (ri, rrow) in right.iter().enumerate() {
+            let row = concat(lrow, rrow);
+            if keep(residual, &row)? {
+                matched = true;
+                right_matched[ri] = true;
+                out.rows_mut().push(row);
+            }
+        }
+        if !matched && jt != JoinType::Inner {
+            out.rows_mut().push(concat(lrow, &null_row(right.schema().arity())));
+        }
+    }
+    if jt == JoinType::Full {
+        for (ri, rrow) in right.iter().enumerate() {
+            if !right_matched[ri] {
+                out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn keyed_nested_loop(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    residual: &Option<ScalarExpr>,
+    jt: JoinType,
+    schema: aio_storage::Schema,
+) -> Result<Relation> {
+    // Equality keys become part of the predicate of a plain nested loop.
+    let mut out = Relation::new(schema);
+    let mut right_matched = vec![false; right.len()];
+    for lrow in left.iter() {
+        let lk = Key::of(lrow, &keys.left);
+        let mut matched = false;
+        if !lk.has_null() {
+            for (ri, rrow) in right.iter().enumerate() {
+                if Key::of(rrow, &keys.right) != lk {
+                    continue;
+                }
+                let row = concat(lrow, rrow);
+                if keep(residual, &row)? {
+                    matched = true;
+                    right_matched[ri] = true;
+                    out.rows_mut().push(row);
+                }
+            }
+        }
+        if !matched && jt != JoinType::Inner {
+            out.rows_mut().push(concat(lrow, &null_row(right.schema().arity())));
+        }
+    }
+    if jt == JoinType::Full {
+        for (ri, rrow) in right.iter().enumerate() {
+            if !right_matched[ri] {
+                out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    residual: &Option<ScalarExpr>,
+    jt: JoinType,
+    schema: aio_storage::Schema,
+) -> Result<Relation> {
+    let build = right.key_multimap(&keys.right);
+    let mut out = Relation::new(schema);
+    let mut right_matched = vec![false; right.len()];
+    for lrow in left.iter() {
+        let lk = Key::of(lrow, &keys.left);
+        let mut matched = false;
+        if !lk.has_null() {
+            if let Some(hits) = build.get(&lk) {
+                for &ri in hits {
+                    let rrow = &right.rows()[ri as usize];
+                    let row = concat(lrow, rrow);
+                    if keep(residual, &row)? {
+                        matched = true;
+                        right_matched[ri as usize] = true;
+                        out.rows_mut().push(row);
+                    }
+                }
+            }
+        }
+        if !matched && jt != JoinType::Inner {
+            out.rows_mut().push(concat(lrow, &null_row(right.schema().arity())));
+        }
+    }
+    if jt == JoinType::Full {
+        for (ri, rrow) in right.iter().enumerate() {
+            if !right_matched[ri] {
+                out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sort both inputs by key (or reuse a provided index order) and merge.
+#[allow(clippy::too_many_arguments)]
+fn merge_join(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    residual: &Option<ScalarExpr>,
+    jt: JoinType,
+    schema: aio_storage::Schema,
+    orders: JoinOrders<'_>,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
+    let lorder = obtain_order(left, &keys.left, orders.left, stats);
+    let rorder = obtain_order(right, &keys.right, orders.right, stats);
+    let lrows = left.rows();
+    let rrows = right.rows();
+    let mut out = Relation::new(schema);
+    let mut right_matched = vec![false; right.len()];
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut left_unmatched: Vec<u32> = Vec::new();
+
+    while i < lorder.len() && j < rorder.len() {
+        let lrow = &lrows[lorder[i] as usize];
+        let rrow = &rrows[rorder[j] as usize];
+        let lk = Key::of(lrow, &keys.left);
+        let rk = Key::of(rrow, &keys.right);
+        // NULL keys sort first and never match; skip them (left side keeps
+        // them for outer joins).
+        if lk.has_null() {
+            if jt != JoinType::Inner {
+                left_unmatched.push(lorder[i]);
+            }
+            i += 1;
+            continue;
+        }
+        if rk.has_null() {
+            j += 1;
+            continue;
+        }
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => {
+                if jt != JoinType::Inner {
+                    left_unmatched.push(lorder[i]);
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // find the run of equal keys on each side
+                let mut i_end = i + 1;
+                while i_end < lorder.len()
+                    && Key::of(&lrows[lorder[i_end] as usize], &keys.left) == lk
+                {
+                    i_end += 1;
+                }
+                let mut j_end = j + 1;
+                while j_end < rorder.len()
+                    && Key::of(&rrows[rorder[j_end] as usize], &keys.right) == rk
+                {
+                    j_end += 1;
+                }
+                for &li in &lorder[i..i_end] {
+                    let mut matched = false;
+                    for &rj in &rorder[j..j_end] {
+                        let row = concat(&lrows[li as usize], &rrows[rj as usize]);
+                        if keep(residual, &row)? {
+                            matched = true;
+                            right_matched[rj as usize] = true;
+                            out.rows_mut().push(row);
+                        }
+                    }
+                    if !matched && jt != JoinType::Inner {
+                        left_unmatched.push(li);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    if jt != JoinType::Inner {
+        left_unmatched.extend_from_slice(&lorder[i..]);
+        for li in left_unmatched {
+            out.rows_mut().push(concat(
+                &lrows[li as usize],
+                &null_row(right.schema().arity()),
+            ));
+        }
+    }
+    if jt == JoinType::Full {
+        for (ri, rrow) in rrows.iter().enumerate() {
+            if !right_matched[ri] {
+                out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Either an index scan (free) or a fresh sort (counted).
+fn obtain_order(
+    rel: &Relation,
+    cols: &[usize],
+    provided: Option<&[u32]>,
+    stats: &mut ExecStats,
+) -> Vec<u32> {
+    if let Some(p) = provided {
+        stats.index_scans += 1;
+        return p.to_vec();
+    }
+    stats.sorts += 1;
+    let rows = rel.rows();
+    let mut perm: Vec<u32> = (0..rows.len() as u32).collect();
+    perm.sort_unstable_by(|&a, &b| {
+        let (ra, rb) = (&rows[a as usize], &rows[b as usize]);
+        for &c in cols {
+            match ra[c].cmp(&rb[c]) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    perm
+}
+
+/// Convenience: resolve names and join (used widely in tests and ops).
+#[allow(clippy::too_many_arguments)]
+pub fn join_on(
+    left: &Relation,
+    right: &Relation,
+    on: &[(&str, &str)],
+    jt: JoinType,
+    strategy: JoinStrategy,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
+    let owned: Vec<(String, String)> = on
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    let keys = JoinKeys::resolve(left, right, &owned)?;
+    join(
+        left,
+        right,
+        &keys,
+        None,
+        jt,
+        strategy,
+        JoinOrders::default(),
+        stats,
+    )
+}
+
+/// Validate that strategies agree (used by property tests too).
+pub fn assert_strategies_agree(
+    left: &Relation,
+    right: &Relation,
+    on: &[(&str, &str)],
+    jt: JoinType,
+) -> Result<bool> {
+    let mut s = ExecStats::new();
+    let h = join_on(left, right, on, jt, JoinStrategy::Hash, &mut s)?;
+    let m = join_on(left, right, on, jt, JoinStrategy::SortMerge, &mut s)?;
+    let n = join_on(left, right, on, jt, JoinStrategy::NestedLoop, &mut s)?;
+    Ok(h.same_rows_unordered(&m) && m.same_rows_unordered(&n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use aio_storage::{edge_schema, node_schema, row};
+
+    fn edges() -> Relation {
+        let mut e = Relation::new(edge_schema().with_qualifier("E"));
+        e.extend([row![1, 2, 1.0], row![2, 3, 1.0], row![1, 3, 1.0], row![4, 1, 1.0]])
+            .unwrap();
+        e
+    }
+
+    fn nodes() -> Relation {
+        let mut v = Relation::new(node_schema().with_qualifier("V"));
+        v.extend([row![1, 0.0], row![2, 1.0], row![3, 2.0]]).unwrap();
+        v
+    }
+
+    #[test]
+    fn inner_join_all_strategies_agree() {
+        assert!(assert_strategies_agree(
+            &edges(),
+            &nodes(),
+            &[("E.T", "V.ID")],
+            JoinType::Inner
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn inner_join_contents() {
+        let mut s = ExecStats::new();
+        let out = join_on(
+            &edges(),
+            &nodes(),
+            &[("E.T", "V.ID")],
+            JoinType::Inner,
+            JoinStrategy::Hash,
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4); // edge 4→1 joins V.ID=1
+        assert_eq!(s.joins, 1);
+        assert!(out.schema().index_of("E.F").is_ok());
+        assert!(out.schema().index_of("V.vw").is_ok());
+    }
+
+    #[test]
+    fn left_outer_pads_unmatched() {
+        let mut s = ExecStats::new();
+        // node 9 matches no edge target
+        let mut v = nodes();
+        v.push(row![9, 9.0]).unwrap();
+        let out = join_on(
+            &v,
+            &edges(),
+            &[("V.ID", "E.T")],
+            JoinType::Left,
+            JoinStrategy::SortMerge,
+            &mut s,
+        )
+        .unwrap();
+        let unmatched: Vec<_> = out
+            .iter()
+            .filter(|r| r[2].is_null())
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(unmatched, vec![9]);
+    }
+
+    #[test]
+    fn full_outer_keeps_both_sides() {
+        for strat in [JoinStrategy::Hash, JoinStrategy::SortMerge, JoinStrategy::NestedLoop] {
+            let mut s = ExecStats::new();
+            let mut v = nodes();
+            v.push(row![9, 9.0]).unwrap();
+            let mut w = Relation::new(node_schema().with_qualifier("W"));
+            w.extend([row![1, 10.0], row![8, 80.0]]).unwrap();
+            let out = join_on(
+                &v,
+                &w,
+                &[("V.ID", "W.ID")],
+                JoinType::Full,
+                strat,
+                &mut s,
+            )
+            .unwrap();
+            // matched: 1. left-only: 2,3,9. right-only: 8.
+            assert_eq!(out.len(), 5, "{strat:?}");
+            assert!(out.iter().any(|r| r[0].is_null() && r[2].as_int() == Some(8)));
+        }
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        for strat in [JoinStrategy::Hash, JoinStrategy::SortMerge, JoinStrategy::NestedLoop] {
+            let mut s = ExecStats::new();
+            let mut a = Relation::new(node_schema().with_qualifier("A"));
+            a.extend([row![1, 1.0]]).unwrap();
+            a.push(vec![Value::Null, Value::Float(0.0)].into_boxed_slice())
+                .unwrap();
+            let mut b = Relation::new(node_schema().with_qualifier("B"));
+            b.extend([row![1, 1.0]]).unwrap();
+            b.push(vec![Value::Null, Value::Float(0.0)].into_boxed_slice())
+                .unwrap();
+            let out = join_on(&a, &b, &[("A.ID", "B.ID")], JoinType::Inner, strat, &mut s)
+                .unwrap();
+            assert_eq!(out.len(), 1, "{strat:?}: only the 1=1 pair matches");
+        }
+    }
+
+    #[test]
+    fn residual_predicate_applies() {
+        let mut s = ExecStats::new();
+        let e = edges();
+        let v = nodes();
+        let keys = JoinKeys::resolve(&e, &v, &[("E.T".into(), "V.ID".into())]).unwrap();
+        let residual = ScalarExpr::binary(
+            BinOp::Gt,
+            ScalarExpr::col("V.vw"),
+            ScalarExpr::lit(0.5),
+        );
+        let out = join(
+            &e,
+            &v,
+            &keys,
+            Some(&residual),
+            JoinType::Inner,
+            JoinStrategy::Hash,
+            JoinOrders::default(),
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3, "vw=0.0 target filtered");
+    }
+
+    #[test]
+    fn no_keys_falls_back_to_nested_loop() {
+        let mut s = ExecStats::new();
+        let a = nodes();
+        let b = edges();
+        let keys = JoinKeys { left: vec![], right: vec![] };
+        let out = join(
+            &a,
+            &b,
+            &keys,
+            None,
+            JoinType::Inner,
+            JoinStrategy::Hash,
+            JoinOrders::default(),
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(out.len(), a.len() * b.len(), "cross product");
+    }
+
+    #[test]
+    fn merge_join_counts_sorts_and_index_scans() {
+        let e = edges();
+        let v = nodes();
+        let keys = JoinKeys::resolve(&e, &v, &[("E.T".into(), "V.ID".into())]).unwrap();
+        let mut s = ExecStats::new();
+        join(&e, &v, &keys, None, JoinType::Inner, JoinStrategy::SortMerge, JoinOrders::default(), &mut s).unwrap();
+        assert_eq!(s.sorts, 2);
+        assert_eq!(s.index_scans, 0);
+
+        let idx = aio_storage::SortedIndex::build(&e, &[1]);
+        let mut s2 = ExecStats::new();
+        let out = join(
+            &e,
+            &v,
+            &keys,
+            None,
+            JoinType::Inner,
+            JoinStrategy::SortMerge,
+            JoinOrders { left: Some(idx.order()), right: None },
+            &mut s2,
+        )
+        .unwrap();
+        assert_eq!(s2.sorts, 1);
+        assert_eq!(s2.index_scans, 1);
+        assert_eq!(out.len(), 4);
+    }
+}

@@ -1,0 +1,18 @@
+//! Relational operators: the six basic operations, group-by & aggregation,
+//! θ-joins, and the paper's four new operations.
+
+pub mod aggjoin;
+pub mod anti_join;
+pub mod basic;
+pub mod groupby;
+pub mod join;
+pub mod union_by_update;
+
+pub use aggjoin::{mm_join, mm_join_basic_ops, mv_join, MvOrientation};
+pub use anti_join::{anti_join, anti_join_basic_ops, semi_join, AntiJoinImpl};
+pub use basic::{
+    difference, distinct, product, project, rename, select, union_all, union_distinct,
+};
+pub use groupby::{group_by, window};
+pub use join::{join, join_on, JoinKeys, JoinOrders, JoinType};
+pub use union_by_update::{union_by_update, UbuImpl};

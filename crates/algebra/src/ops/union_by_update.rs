@@ -1,0 +1,443 @@
+//! Union-by-update `R ⊎_A S` — the paper's genuinely new operation
+//! (Section 4.1) — and its four physical implementations (Exp-1,
+//! Tables 4 & 5).
+//!
+//! Semantics: tuples match on the `A` attributes. A matching `r ∈ R` is
+//! *replaced* by its `s ∈ S`; unmatched `r` and unmatched `s` both survive.
+//! Multiple `r` may match one `s`, but multiple `s` matching one `r` makes
+//! the answer non-unique and is an error. With no key attributes the whole
+//! relation is replaced (the "without attributes" form of Section 6).
+//!
+//! Implementations:
+//! * [`UbuImpl::Merge`] — SQL `MERGE`: per-row in-place updates with full
+//!   before/after WAL images plus the mandated duplicate check on the
+//!   source (the cost that makes it the slowest in Tables 4/5).
+//! * [`UbuImpl::FullOuterJoin`] — `SELECT coalesce(...) FROM R FULL OUTER
+//!   JOIN S` materialized into the target ("essentially does join instead
+//!   of real update").
+//! * [`UbuImpl::DropAlter`] — build the new relation in a fresh table, then
+//!   `DROP TABLE R; ALTER TABLE R_new RENAME TO R`.
+//! * [`UbuImpl::UpdateFrom`] — PostgreSQL `UPDATE ... FROM`: in-place like
+//!   merge, but "does not check and report duplicates in the source table".
+
+use crate::error::{AlgebraError, Result};
+use crate::profile::EngineProfile;
+use crate::stats::ExecStats;
+use aio_storage::{Catalog, FxHashMap, Key, Relation, Row, WalPolicy};
+
+/// Physical implementation of union-by-update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UbuImpl {
+    Merge,
+    FullOuterJoin,
+    DropAlter,
+    UpdateFrom,
+}
+
+impl UbuImpl {
+    pub const ALL: [UbuImpl; 4] = [
+        UbuImpl::Merge,
+        UbuImpl::FullOuterJoin,
+        UbuImpl::DropAlter,
+        UbuImpl::UpdateFrom,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            UbuImpl::Merge => "merge",
+            UbuImpl::FullOuterJoin => "full outer join",
+            UbuImpl::DropAlter => "drop/alter",
+            UbuImpl::UpdateFrom => "update from",
+        }
+    }
+
+    /// Which of the paper's three systems support this spelling (Table 4:
+    /// `update from` is PostgreSQL-only, `merge` is Oracle/DB2-only).
+    pub fn supported_by(self, profile_name: &str) -> bool {
+        match self {
+            UbuImpl::UpdateFrom => profile_name.starts_with("postgres"),
+            UbuImpl::Merge => !profile_name.starts_with("postgres"),
+            _ => true,
+        }
+    }
+}
+
+/// Apply `target ⊎_keys delta` in the catalog. `key_cols` indexes the
+/// target/delta schema (they must have identical arity); `None` replaces the
+/// relation wholesale.
+pub fn union_by_update(
+    catalog: &mut Catalog,
+    target: &str,
+    delta: Relation,
+    key_cols: Option<&[usize]>,
+    imp: UbuImpl,
+    profile: &EngineProfile,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    stats.union_by_updates += 1;
+    {
+        let t = catalog.relation(target)?;
+        if t.schema().arity() != delta.schema().arity() {
+            return Err(AlgebraError::Plan(format!(
+                "union-by-update arity mismatch: {} vs {}",
+                t.schema().arity(),
+                delta.schema().arity()
+            )));
+        }
+    }
+
+    let Some(keys) = key_cols else {
+        // "Without attributes, it is to replace the previous recursive
+        // relation R by the currently generated result as a whole."
+        return replace_whole(catalog, target, delta, profile, stats);
+    };
+
+    match imp {
+        UbuImpl::Merge => {
+            // MERGE checks that the source has no duplicate join keys and
+            // errors otherwise — the uniqueness rule of Section 4.1.
+            let dmap = delta.unique_key_map(keys).map_err(|e| {
+                AlgebraError::NonUniqueUpdate(format!("merge source: {e}"))
+            })?;
+            let wal_update = profile.wal_update;
+            let mut matched = vec![false; delta.len()];
+            // Split borrow: take rows out, mutate, put back, then log.
+            let mut updates: Vec<(Row, Row)> = Vec::new();
+            {
+                let t = catalog.relation_mut(target)?;
+                for row in t.rows_mut().iter_mut() {
+                    let k = Key::of(row, keys);
+                    if let Some(&di) = dmap.get(&k) {
+                        matched[di] = true;
+                        let before = row.clone();
+                        *row = delta.rows()[di].clone();
+                        updates.push((before, row.clone()));
+                    }
+                }
+            }
+            catalog.entry_mut(target)?.indexes.clear();
+            for (before, after) in &updates {
+                catalog.wal.log_update(wal_update, before, after);
+            }
+            let inserts: Vec<Row> = delta
+                .rows()
+                .iter()
+                .zip(&matched)
+                .filter(|(_, m)| !**m)
+                .map(|(r, _)| r.clone())
+                .collect();
+            stats.rows_produced += (updates.len() + inserts.len()) as u64;
+            catalog.insert_rows(target, inserts, WalPolicy::Full)?;
+            Ok(())
+        }
+        UbuImpl::UpdateFrom => {
+            // No duplicate detection: last delta row wins silently.
+            let mut dmap: FxHashMap<Key, usize> = FxHashMap::default();
+            for (i, row) in delta.rows().iter().enumerate() {
+                dmap.insert(Key::of(row, keys), i);
+            }
+            let wal_update = profile.wal_update;
+            let mut matched_keys: aio_storage::FxHashSet<Key> = Default::default();
+            let mut updates: Vec<(Row, Row)> = Vec::new();
+            {
+                let t = catalog.relation_mut(target)?;
+                for row in t.rows_mut().iter_mut() {
+                    let k = Key::of(row, keys);
+                    if let Some(&di) = dmap.get(&k) {
+                        matched_keys.insert(k);
+                        let before = row.clone();
+                        *row = delta.rows()[di].clone();
+                        updates.push((before, row.clone()));
+                    }
+                }
+            }
+            catalog.entry_mut(target)?.indexes.clear();
+            for (before, after) in &updates {
+                catalog.wal.log_update(wal_update, before, after);
+            }
+            // The insert half is `INSERT ... WHERE key NOT IN (target)`, so
+            // a delta row whose key matched any target row is not inserted —
+            // and among duplicate-keyed delta rows, only the winner of the
+            // silent last-wins update survives at all.
+            let inserts: Vec<Row> = delta
+                .rows()
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| {
+                    let k = Key::of(r, keys);
+                    !matched_keys.contains(&k) && dmap[&k] == *i
+                })
+                .map(|(_, r)| r.clone())
+                .collect();
+            stats.rows_produced += (updates.len() + inserts.len()) as u64;
+            catalog.insert_rows(target, inserts, profile.wal_temp)?;
+            Ok(())
+        }
+        UbuImpl::FullOuterJoin | UbuImpl::DropAlter => {
+            let dmap = delta.unique_key_map(keys).map_err(|e| {
+                AlgebraError::NonUniqueUpdate(format!("union-by-update source: {e}"))
+            })?;
+            // coalesce(S.*, R.*) per key, plus S-only rows — one pass each.
+            let mut matched = vec![false; delta.len()];
+            let mut new_rows: Vec<Row>;
+            {
+                let t = catalog.relation(target)?;
+                new_rows = Vec::with_capacity(t.len() + delta.len());
+                for row in t.iter() {
+                    let k = Key::of(row, keys);
+                    match dmap.get(&k) {
+                        Some(&di) => {
+                            matched[di] = true;
+                            new_rows.push(delta.rows()[di].clone());
+                        }
+                        None => new_rows.push(row.clone()),
+                    }
+                }
+            }
+            for (row, m) in delta.rows().iter().zip(&matched) {
+                if !*m {
+                    new_rows.push(row.clone());
+                }
+            }
+            stats.rows_produced += new_rows.len() as u64;
+            if imp == UbuImpl::DropAlter {
+                // materialize into a brand-new table, drop, rename
+                let entry = catalog.entry(target)?;
+                let temp = entry.temp;
+                let mut fresh = Relation::new(entry.rel.schema().clone());
+                fresh.set_pk(entry.rel.pk().map(|p| p.to_vec()));
+                let staging = format!("{target}__ubu_new");
+                catalog.create_or_replace(&staging, fresh, temp);
+                catalog.insert_rows(&staging, new_rows, profile.wal_temp)?;
+                catalog.drop_table(target)?;
+                catalog.rename_table(&staging, target)?;
+            } else {
+                catalog.wal.log_insert(profile.wal_temp, &new_rows);
+                let e = catalog.entry_mut(target)?;
+                e.indexes.clear();
+                *e.rel.rows_mut() = new_rows;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn replace_whole(
+    catalog: &mut Catalog,
+    target: &str,
+    delta: Relation,
+    profile: &EngineProfile,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    stats.rows_produced += delta.len() as u64;
+    catalog.wal.log_insert(profile.wal_temp, delta.rows());
+    let e = catalog.entry_mut(target)?;
+    e.indexes.clear();
+    *e.rel.rows_mut() = delta.into_rows();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::oracle_like;
+    use aio_storage::{node_schema, row};
+
+    fn setup(target_rows: &[(i64, f64)]) -> Catalog {
+        let mut c = Catalog::new();
+        let mut r = Relation::with_pk(node_schema(), &["ID"]).unwrap();
+        for &(id, w) in target_rows {
+            r.push(row![id, w]).unwrap();
+        }
+        c.create_temp("V", r).unwrap();
+        c
+    }
+
+    fn delta(rows: &[(i64, f64)]) -> Relation {
+        let mut d = Relation::new(node_schema());
+        for &(id, w) in rows {
+            d.push(row![id, w]).unwrap();
+        }
+        d
+    }
+
+    fn contents(c: &Catalog) -> Vec<(i64, f64)> {
+        let mut v: Vec<(i64, f64)> = c
+            .relation("V")
+            .unwrap()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_f64().unwrap()))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn all_impls_produce_identical_content() {
+        let expected = vec![(1, 10.0), (2, 2.0), (3, 30.0), (9, 90.0)];
+        for imp in UbuImpl::ALL {
+            let mut c = setup(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+            let d = delta(&[(1, 10.0), (3, 30.0), (9, 90.0)]);
+            let mut s = ExecStats::new();
+            union_by_update(&mut c, "V", d, Some(&[0]), imp, &oracle_like(), &mut s)
+                .unwrap();
+            assert_eq!(contents(&c), expected, "{}", imp.name());
+            assert_eq!(s.union_by_updates, 1);
+        }
+    }
+
+    #[test]
+    fn result_contains_every_delta_tuple() {
+        // the independence property of Section 4.1: R ⊎ S ⊇ S (on keys)
+        let mut c = setup(&[(1, 1.0)]);
+        let d = delta(&[(1, 5.0), (2, 6.0)]);
+        let mut s = ExecStats::new();
+        union_by_update(
+            &mut c,
+            "V",
+            d,
+            Some(&[0]),
+            UbuImpl::FullOuterJoin,
+            &oracle_like(),
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(contents(&c), vec![(1, 5.0), (2, 6.0)]);
+    }
+
+    #[test]
+    fn duplicate_source_keys_rejected_by_merge_and_foj() {
+        for imp in [UbuImpl::Merge, UbuImpl::FullOuterJoin, UbuImpl::DropAlter] {
+            let mut c = setup(&[(1, 1.0)]);
+            let d = delta(&[(1, 5.0), (1, 6.0)]);
+            let mut s = ExecStats::new();
+            let err =
+                union_by_update(&mut c, "V", d, Some(&[0]), imp, &oracle_like(), &mut s)
+                    .unwrap_err();
+            assert!(
+                matches!(err, AlgebraError::NonUniqueUpdate(_)),
+                "{}",
+                imp.name()
+            );
+        }
+    }
+
+    #[test]
+    fn update_from_silently_takes_last_duplicate() {
+        let mut c = setup(&[(1, 1.0)]);
+        let d = delta(&[(1, 5.0), (1, 6.0)]);
+        let mut s = ExecStats::new();
+        union_by_update(
+            &mut c,
+            "V",
+            d,
+            Some(&[0]),
+            UbuImpl::UpdateFrom,
+            &crate::profile::postgres_like(false),
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(contents(&c), vec![(1, 6.0)]);
+    }
+
+    #[test]
+    fn multiple_target_rows_may_match_one_source() {
+        // keys here are non-unique in the target: both rows update
+        let mut c = Catalog::new();
+        let mut r = Relation::new(node_schema());
+        r.extend([row![1, 1.0], row![1, 2.0], row![2, 2.0]]).unwrap();
+        c.create_temp("V", r).unwrap();
+        let d = delta(&[(1, 9.0)]);
+        let mut s = ExecStats::new();
+        union_by_update(
+            &mut c,
+            "V",
+            d,
+            Some(&[0]),
+            UbuImpl::Merge,
+            &oracle_like(),
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(contents(&c), vec![(1, 9.0), (1, 9.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn no_keys_replaces_wholesale() {
+        let mut c = setup(&[(1, 1.0), (2, 2.0)]);
+        let d = delta(&[(7, 7.0)]);
+        let mut s = ExecStats::new();
+        union_by_update(
+            &mut c,
+            "V",
+            d,
+            None,
+            UbuImpl::FullOuterJoin,
+            &oracle_like(),
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(contents(&c), vec![(7, 7.0)]);
+    }
+
+    #[test]
+    fn drop_alter_preserves_table_identity() {
+        let mut c = setup(&[(1, 1.0)]);
+        let d = delta(&[(1, 2.0)]);
+        let mut s = ExecStats::new();
+        union_by_update(
+            &mut c,
+            "V",
+            d,
+            Some(&[0]),
+            UbuImpl::DropAlter,
+            &oracle_like(),
+            &mut s,
+        )
+        .unwrap();
+        assert!(c.contains("V"));
+        assert!(!c.contains("V__ubu_new"));
+        assert_eq!(contents(&c), vec![(1, 2.0)]);
+        // pk declaration survives the swap
+        assert_eq!(c.relation("V").unwrap().pk(), Some(&[0usize][..]));
+    }
+
+    #[test]
+    fn merge_logs_full_images() {
+        let mut c = setup(&[(1, 1.0)]);
+        let d = delta(&[(1, 2.0)]);
+        let mut s = ExecStats::new();
+        let db2 = crate::profile::db2_like();
+        union_by_update(&mut c, "V", d, Some(&[0]), UbuImpl::Merge, &db2, &mut s).unwrap();
+        assert!(c.wal.bytes_written() > 0, "merge writes update images");
+    }
+
+    #[test]
+    fn idempotent_when_delta_equals_target() {
+        let rows = [(1, 1.0), (2, 2.0)];
+        let mut c = setup(&rows);
+        let d = delta(&rows);
+        let mut s = ExecStats::new();
+        union_by_update(
+            &mut c,
+            "V",
+            d,
+            Some(&[0]),
+            UbuImpl::FullOuterJoin,
+            &oracle_like(),
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(contents(&c), rows.to_vec());
+    }
+
+    #[test]
+    fn support_matrix_matches_table4() {
+        assert!(UbuImpl::Merge.supported_by("oracle_like"));
+        assert!(!UbuImpl::Merge.supported_by("postgres_like"));
+        assert!(UbuImpl::UpdateFrom.supported_by("postgres_like+idx"));
+        assert!(!UbuImpl::UpdateFrom.supported_by("db2_like"));
+        assert!(UbuImpl::FullOuterJoin.supported_by("oracle_like"));
+        assert!(UbuImpl::DropAlter.supported_by("postgres_like"));
+    }
+}

@@ -1,0 +1,520 @@
+//! Logical plans and their evaluator.
+//!
+//! The with+ compiler (crate `aio-withplus`) lowers each SQL subquery to a
+//! [`Plan`]; the [`Evaluator`] executes it against a [`Catalog`] under an
+//! [`EngineProfile`], materializing every operator's output — the moral
+//! equivalent of the paper's PSM translation where each step is an
+//! `INSERT INTO tmp SELECT ...`.
+
+use crate::error::Result;
+use crate::expr::ScalarExpr;
+use crate::ops;
+use crate::ops::anti_join::AntiJoinImpl;
+use crate::ops::join::{JoinKeys, JoinOrders, JoinType};
+use crate::profile::EngineProfile;
+use crate::stats::ExecStats;
+use aio_storage::{Catalog, Relation};
+
+/// A logical plan node.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Read a stored table, optionally renaming it (`FROM t AS a`).
+    Scan {
+        table: String,
+        alias: Option<String>,
+    },
+    /// An inline literal relation.
+    Values(Relation),
+    /// σ
+    Select { input: Box<Plan>, pred: ScalarExpr },
+    /// Π (expressions + output names)
+    Project {
+        input: Box<Plan>,
+        items: Vec<(ScalarExpr, String)>,
+    },
+    /// group-by & aggregation
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<String>,
+        items: Vec<(ScalarExpr, String)>,
+    },
+    /// `partition by` window aggregation (SQL'99 baseline, Fig. 9)
+    Window {
+        input: Box<Plan>,
+        partition_by: Vec<String>,
+        items: Vec<(ScalarExpr, String)>,
+    },
+    Distinct(Box<Plan>),
+    /// θ-join on equality keys plus optional residual predicate
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(String, String)>,
+        residual: Option<ScalarExpr>,
+        kind: JoinType,
+    },
+    /// ×
+    Product { left: Box<Plan>, right: Box<Plan> },
+    UnionAll { left: Box<Plan>, right: Box<Plan> },
+    /// ∪ with duplicate elimination
+    Union { left: Box<Plan>, right: Box<Plan> },
+    /// − (EXCEPT)
+    Difference { left: Box<Plan>, right: Box<Plan> },
+    /// `R ⊼ S` via the chosen SQL spelling
+    AntiJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(String, String)>,
+        imp: AntiJoinImpl,
+    },
+    /// `R ⋉ S` (IN subqueries)
+    SemiJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(String, String)>,
+    },
+}
+
+impl Plan {
+    pub fn scan(table: impl Into<String>) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            alias: None,
+        }
+    }
+
+    pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// All table names this plan reads (for dependency graphs).
+    pub fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            Plan::Scan { table, .. } => out.push(table.clone()),
+            Plan::Values(_) => {}
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Window { input, .. }
+            | Plan::Distinct(input) => input.collect_tables(out),
+            Plan::Join { left, right, .. }
+            | Plan::Product { left, right }
+            | Plan::UnionAll { left, right }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right }
+            | Plan::AntiJoin { left, right, .. }
+            | Plan::SemiJoin { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+
+    /// Does this plan reference `table` through a negated / non-monotone
+    /// position (right side of difference or anti-join)? Used by the
+    /// stratification analysis.
+    pub fn references_negated(&self, table: &str) -> bool {
+        fn refs(p: &Plan, t: &str) -> bool {
+            let mut v = Vec::new();
+            p.collect_tables(&mut v);
+            v.iter().any(|x| x.eq_ignore_ascii_case(t))
+        }
+        match self {
+            Plan::Difference { left, right } | Plan::AntiJoin { left, right, .. } => {
+                refs(right, table)
+                    || left.references_negated(table)
+                    || right.references_negated(table)
+            }
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Window { input, .. }
+            | Plan::Distinct(input) => input.references_negated(table),
+            Plan::Join { left, right, .. }
+            | Plan::Product { left, right }
+            | Plan::UnionAll { left, right }
+            | Plan::Union { left, right }
+            | Plan::SemiJoin { left, right, .. } => {
+                left.references_negated(table) || right.references_negated(table)
+            }
+            _ => false,
+        }
+    }
+
+    /// Does any aggregate appear over an input that references `table`?
+    pub fn aggregates_over(&self, table: &str) -> bool {
+        fn refs(p: &Plan, t: &str) -> bool {
+            let mut v = Vec::new();
+            p.collect_tables(&mut v);
+            v.iter().any(|x| x.eq_ignore_ascii_case(t))
+        }
+        match self {
+            Plan::Aggregate { input, .. } | Plan::Window { input, .. } => {
+                refs(input, table) || input.aggregates_over(table)
+            }
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct(input) => input.aggregates_over(table),
+            Plan::Join { left, right, .. }
+            | Plan::Product { left, right }
+            | Plan::UnionAll { left, right }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right }
+            | Plan::AntiJoin { left, right, .. }
+            | Plan::SemiJoin { left, right, .. } => {
+                left.aggregates_over(table) || right.aggregates_over(table)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Executes [`Plan`]s against a catalog under a profile.
+pub struct Evaluator<'a> {
+    pub catalog: &'a Catalog,
+    pub profile: &'a EngineProfile,
+    pub stats: ExecStats,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(catalog: &'a Catalog, profile: &'a EngineProfile) -> Self {
+        Evaluator {
+            catalog,
+            profile,
+            stats: ExecStats::new(),
+        }
+    }
+
+    pub fn eval(&mut self, plan: &Plan) -> Result<Relation> {
+        match plan {
+            Plan::Scan { table, alias } => {
+                let rel = self.catalog.relation(table)?;
+                self.stats.rows_scanned += rel.len() as u64;
+                Ok(match alias {
+                    Some(a) => ops::rename(rel, a),
+                    None => ops::rename(rel, table_basename(table)),
+                })
+            }
+            Plan::Values(rel) => Ok(rel.clone()),
+            Plan::Select { input, pred } => {
+                let rel = self.eval(input)?;
+                let out = ops::select(&rel, pred)?;
+                self.stats.rows_produced += out.len() as u64;
+                Ok(out)
+            }
+            Plan::Project { input, items } => {
+                let rel = self.eval(input)?;
+                let out = ops::project(&rel, items)?;
+                self.stats.rows_produced += out.len() as u64;
+                Ok(out)
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                items,
+            } => {
+                let rel = self.eval(input)?;
+                ops::group_by(&rel, group_by, items, self.profile.agg, &mut self.stats)
+            }
+            Plan::Window {
+                input,
+                partition_by,
+                items,
+            } => {
+                let rel = self.eval(input)?;
+                ops::window(&rel, partition_by, items, &mut self.stats)
+            }
+            Plan::Distinct(input) => {
+                let rel = self.eval(input)?;
+                Ok(ops::distinct(&rel))
+            }
+            Plan::Join {
+                left,
+                right,
+                on,
+                residual,
+                kind,
+            } => {
+                // Index orders are only usable when the child is a direct
+                // table scan and the profile's plans react to indexes.
+                let lidx_src = self.index_source(left, on.iter().map(|(l, _)| l.as_str()));
+                let ridx_src = self.index_source(right, on.iter().map(|(_, r)| r.as_str()));
+                let lrel = self.eval(left)?;
+                let rrel = self.eval(right)?;
+                let keys = JoinKeys::resolve(&lrel, &rrel, on)?;
+                let lorder = lidx_src
+                    .as_ref()
+                    .and_then(|t| self.catalog.index_on(t, &keys.left))
+                    .map(|i| i.order());
+                let rorder = ridx_src
+                    .as_ref()
+                    .and_then(|t| self.catalog.index_on(t, &keys.right))
+                    .map(|i| i.order());
+                ops::join(
+                    &lrel,
+                    &rrel,
+                    &keys,
+                    residual.as_ref(),
+                    *kind,
+                    self.profile.join,
+                    JoinOrders {
+                        left: lorder,
+                        right: rorder,
+                    },
+                    &mut self.stats,
+                )
+            }
+            Plan::Product { left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                self.stats.joins += 1;
+                let out = ops::product(&l, &r)?;
+                self.stats.rows_produced += out.len() as u64;
+                Ok(out)
+            }
+            Plan::UnionAll { left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                ops::union_all(&l, &r)
+            }
+            Plan::Union { left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                ops::union_distinct(&l, &r)
+            }
+            Plan::Difference { left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                ops::difference(&l, &r)
+            }
+            Plan::AntiJoin {
+                left,
+                right,
+                on,
+                imp,
+            } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let keys = JoinKeys::resolve(&l, &r, on)?;
+                ops::anti_join(&l, &r, &keys, *imp, self.profile.join, &mut self.stats)
+            }
+            Plan::SemiJoin { left, right, on } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let keys = JoinKeys::resolve(&l, &r, on)?;
+                ops::semi_join(&l, &r, &keys, &mut self.stats)
+            }
+        }
+    }
+
+    /// The table whose stored index could serve this child, if any.
+    fn index_source<'s>(
+        &self,
+        child: &Plan,
+        _key_refs: impl Iterator<Item = &'s str>,
+    ) -> Option<String> {
+        if !self.profile.plan_uses_indexes {
+            return None;
+        }
+        match child {
+            Plan::Scan { table, .. } => Some(table.clone()),
+            _ => None,
+        }
+    }
+}
+
+fn table_basename(t: &str) -> &str {
+    t
+}
+
+/// Convenience: evaluate a plan with fresh stats.
+pub fn execute(
+    plan: &Plan,
+    catalog: &Catalog,
+    profile: &EngineProfile,
+) -> Result<(Relation, ExecStats)> {
+    let mut ev = Evaluator::new(catalog, profile);
+    let rel = ev.eval(plan)?;
+    Ok((rel, ev.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AlgebraError;
+    use crate::profile::{oracle_like, postgres_like};
+    use aio_storage::{edge_schema, node_schema, row};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut e = Relation::new(edge_schema());
+        e.extend([row![1, 2, 1.0], row![2, 3, 1.0], row![3, 1, 1.0], row![1, 3, 1.0]])
+            .unwrap();
+        c.create_table("E", e).unwrap();
+        let mut v = Relation::new(node_schema());
+        v.extend([row![1, 1.0], row![2, 0.0], row![3, 0.0]]).unwrap();
+        c.create_table("V", v).unwrap();
+        c
+    }
+
+    #[test]
+    fn scan_qualifies_with_alias() {
+        let c = catalog();
+        let (rel, _) = execute(&Plan::scan_as("E", "E1"), &c, &oracle_like()).unwrap();
+        assert!(rel.schema().index_of("E1.F").is_ok());
+    }
+
+    #[test]
+    fn transitive_one_hop_plan() {
+        // select E1.F, E2.T from E E1, E E2 where E1.T = E2.F  (Fig. 1 body)
+        let c = catalog();
+        let plan = Plan::Project {
+            input: Box::new(Plan::Join {
+                left: Box::new(Plan::scan_as("E", "E1")),
+                right: Box::new(Plan::scan_as("E", "E2")),
+                on: vec![("E1.T".into(), "E2.F".into())],
+                residual: None,
+                kind: JoinType::Inner,
+            }),
+            items: vec![
+                (ScalarExpr::col("E1.F"), "F".into()),
+                (ScalarExpr::col("E2.T"), "T".into()),
+            ],
+        };
+        let (rel, stats) = execute(&plan, &c, &oracle_like()).unwrap();
+        // 1→2→3, 2→3→1, 3→1→2, 3→1→3, 1→3→1
+        assert_eq!(rel.len(), 5);
+        assert_eq!(stats.joins, 1);
+    }
+
+    #[test]
+    fn profile_changes_physical_behaviour_not_results() {
+        let c = catalog();
+        let plan = Plan::Join {
+            left: Box::new(Plan::scan("E")),
+            right: Box::new(Plan::scan("V")),
+            on: vec![("E.T".into(), "V.ID".into())],
+            residual: None,
+            kind: JoinType::Inner,
+        };
+        let (a, sa) = execute(&plan, &c, &oracle_like()).unwrap();
+        let (b, sb) = execute(&plan, &c, &postgres_like(false)).unwrap();
+        assert!(a.same_rows_unordered(&b));
+        assert_eq!(sa.sorts, 0, "hash join does not sort");
+        assert_eq!(sb.sorts, 2, "merge join sorts both sides");
+    }
+
+    #[test]
+    fn postgres_profile_uses_catalog_index() {
+        let mut c = catalog();
+        c.build_index("E", &[1]).unwrap(); // index on E.T
+        let plan = Plan::Join {
+            left: Box::new(Plan::scan("E")),
+            right: Box::new(Plan::scan("V")),
+            on: vec![("E.T".into(), "V.ID".into())],
+            residual: None,
+            kind: JoinType::Inner,
+        };
+        let (_, s) = execute(&plan, &c, &postgres_like(true)).unwrap();
+        assert_eq!(s.index_scans, 1);
+        assert_eq!(s.sorts, 1, "only the un-indexed side sorts");
+        // oracle ignores the index entirely
+        let (_, s) = execute(&plan, &c, &oracle_like()).unwrap();
+        assert_eq!(s.index_scans, 0);
+    }
+
+    #[test]
+    fn aggregate_plan_groups() {
+        let c = catalog();
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::scan("E")),
+            group_by: vec!["E.F".into()],
+            items: vec![
+                (ScalarExpr::col("E.F"), "F".into()),
+                (
+                    ScalarExpr::Agg(
+                        crate::agg::AggFunc::Count,
+                        Box::new(ScalarExpr::lit(1i64)),
+                    ),
+                    "deg".into(),
+                ),
+            ],
+        };
+        let (rel, _) = execute(&plan, &c, &oracle_like()).unwrap();
+        assert_eq!(rel.len(), 3);
+        let deg1 = rel.iter().find(|r| r[0].as_int() == Some(1)).unwrap()[1].as_int();
+        assert_eq!(deg1, Some(2));
+    }
+
+    #[test]
+    fn anti_and_semi_join_plans() {
+        let c = catalog();
+        // nodes with no incoming edge: V.ID not in (select T from E) → none here
+        let anti = Plan::AntiJoin {
+            left: Box::new(Plan::scan("V")),
+            right: Box::new(Plan::scan("E")),
+            on: vec![("V.ID".into(), "E.T".into())],
+            imp: AntiJoinImpl::LeftOuterNull,
+        };
+        let (rel, s) = execute(&anti, &c, &oracle_like()).unwrap();
+        assert_eq!(rel.len(), 0);
+        assert_eq!(s.anti_joins, 1);
+        let semi = Plan::SemiJoin {
+            left: Box::new(Plan::scan("V")),
+            right: Box::new(Plan::scan("E")),
+            on: vec![("V.ID".into(), "E.T".into())],
+        };
+        let (rel, _) = execute(&semi, &c, &oracle_like()).unwrap();
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn negation_and_aggregation_analysis() {
+        let anti = Plan::AntiJoin {
+            left: Box::new(Plan::scan("V")),
+            right: Box::new(Plan::scan("R")),
+            on: vec![("V.ID".into(), "R.ID".into())],
+            imp: AntiJoinImpl::NotIn,
+        };
+        assert!(anti.references_negated("R"));
+        assert!(!anti.references_negated("V"));
+
+        let agg = Plan::Aggregate {
+            input: Box::new(Plan::scan("R")),
+            group_by: vec![],
+            items: vec![],
+        };
+        assert!(agg.aggregates_over("R"));
+        assert!(!agg.aggregates_over("V"));
+    }
+
+    #[test]
+    fn set_ops_and_values() {
+        let c = catalog();
+        let mut lit = Relation::new(node_schema());
+        lit.push(row![9, 9.0]).unwrap();
+        let plan = Plan::UnionAll {
+            left: Box::new(Plan::scan("V")),
+            right: Box::new(Plan::Values(lit)),
+        };
+        let (rel, _) = execute(&plan, &c, &oracle_like()).unwrap();
+        assert_eq!(rel.len(), 4);
+
+        let diff = Plan::Difference {
+            left: Box::new(Plan::scan("V")),
+            right: Box::new(Plan::scan("V")),
+        };
+        let (rel, _) = execute(&diff, &c, &oracle_like()).unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let c = catalog();
+        let err = execute(&Plan::scan("nope"), &c, &oracle_like()).unwrap_err();
+        assert!(matches!(err, AlgebraError::Storage(_)));
+    }
+}

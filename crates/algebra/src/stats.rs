@@ -1,0 +1,92 @@
+//! Execution statistics, collected by the plan evaluator.
+//!
+//! The paper reasons about performance in terms of "the number of
+//! operations, such as join, aggregation, and union-by-update, in an
+//! iteration" (Section 7.2). These counters let the harness report the same
+//! quantities (e.g. PR = 1 MV-join + 1 union-by-update per iteration, HITS =
+//! 2 MV-joins + 1 θ-join + 1 aggregation + 1 union-by-update).
+
+/// Counters accumulated over one execution (query or whole PSM run).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows read out of stored tables.
+    pub rows_scanned: u64,
+    /// Rows produced by all operators.
+    pub rows_produced: u64,
+    /// Join operator invocations (θ-joins, products, outer joins).
+    pub joins: u64,
+    /// Group-by & aggregation invocations.
+    pub aggregations: u64,
+    /// Anti-join invocations.
+    pub anti_joins: u64,
+    /// Union-by-update applications.
+    pub union_by_updates: u64,
+    /// Sorts performed (merge joins without a usable index, sort aggs).
+    pub sorts: u64,
+    /// Index-order scans that avoided a sort (Fig. 10's win).
+    pub index_scans: u64,
+}
+
+impl ExecStats {
+    pub fn new() -> Self {
+        ExecStats::default()
+    }
+
+    /// Merge another stats block into this one.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_produced += other.rows_produced;
+        self.joins += other.joins;
+        self.aggregations += other.aggregations;
+        self.anti_joins += other.anti_joins;
+        self.union_by_updates += other.union_by_updates;
+        self.sorts += other.sorts;
+        self.index_scans += other.index_scans;
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "scanned={} produced={} joins={} aggs={} anti={} ubu={} sorts={} idx_scans={}",
+            self.rows_scanned,
+            self.rows_produced,
+            self.joins,
+            self.aggregations,
+            self.anti_joins,
+            self.union_by_updates,
+            self.sorts,
+            self.index_scans
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds() {
+        let mut a = ExecStats {
+            joins: 1,
+            rows_produced: 10,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            joins: 2,
+            sorts: 3,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.joins, 3);
+        assert_eq!(a.sorts, 3);
+        assert_eq!(a.rows_produced, 10);
+    }
+
+    #[test]
+    fn summary_mentions_all_counters() {
+        let s = ExecStats::default().summary();
+        for key in ["joins", "aggs", "ubu", "sorts"] {
+            assert!(s.contains(key));
+        }
+    }
+}

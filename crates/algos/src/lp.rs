@@ -1,0 +1,122 @@
+//! Label-Propagation (Section 7): every node synchronously adopts the
+//! label with the maximum `count` among its in-neighbours (ties broken by
+//! the larger label), for a fixed number of iterations — `count`
+//! aggregation + union-by-update, linear recursion.
+
+use crate::common::{self, EdgeStyle};
+use aio_algebra::EngineProfile;
+use aio_graph::Graph;
+use aio_storage::FxHashMap;
+use aio_withplus::{QueryResult, Result};
+
+pub fn sql(iters: usize) -> String {
+    format!(
+        "with Lab(ID, lbl) as (
+           (select L.ID, L.lbl from L)
+           union by update ID
+           (select New.ID, New.lbl from New
+            computed by
+              Cnt(ID, lbl, c) as select E.T, Lab.lbl, count(*) from E, Lab
+                                where E.F = Lab.ID group by E.T, Lab.lbl;
+              Best(ID, bc) as select Cnt.ID, max(Cnt.c) from Cnt group by Cnt.ID;
+              New(ID, lbl) as select Cnt.ID, max(Cnt.lbl) from Cnt, Best
+                             where Cnt.ID = Best.ID and Cnt.c = Best.bc
+                             group by Cnt.ID;)
+           maxrecursion {iters})
+         select * from Lab"
+    )
+}
+
+/// Run LP for `iters` iterations; returns id → label.
+pub fn run(
+    g: &Graph,
+    profile: &EngineProfile,
+    iters: usize,
+) -> Result<(FxHashMap<i64, i64>, QueryResult)> {
+    let mut db = common::db_for(g, profile, EdgeStyle::Raw)?;
+    let out = db.execute(&sql(iters))?;
+    Ok((common::node_i64_map(&out.relation), out))
+}
+
+/// Reference: synchronous LP with identical tie-breaking.
+pub fn reference_lp(g: &Graph, iters: usize) -> Vec<i64> {
+    let n = g.node_count();
+    let mut labels: Vec<i64> = g.labels.iter().map(|&l| l as i64).collect();
+    let rev = g.reverse();
+    for _ in 0..iters {
+        let mut next = labels.clone();
+        for v in 0..n as u32 {
+            let mut counts: FxHashMap<i64, usize> = FxHashMap::default();
+            for &u in rev.neighbors(v) {
+                *counts.entry(labels[u as usize]).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                continue; // no in-neighbours: union-by-update keeps
+            }
+            let best = counts
+                .iter()
+                .map(|(&l, &c)| (c, l))
+                .max()
+                .map(|(_, l)| l)
+                .unwrap();
+            next[v as usize] = best;
+        }
+        labels = next;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aio_algebra::{all_profiles, oracle_like};
+    use aio_graph::{generate, GraphKind};
+
+    fn check(g: &Graph, profile: &EngineProfile, iters: usize) {
+        let (labels, _) = run(g, profile, iters).unwrap();
+        let expected = reference_lp(g, iters);
+        for (v, &l) in expected.iter().enumerate() {
+            assert_eq!(labels[&(v as i64)], l, "node {v}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_undirected() {
+        let g = generate(GraphKind::PowerLaw, 120, 500, false, 91);
+        check(&g, &oracle_like(), 15);
+    }
+
+    #[test]
+    fn all_profiles_agree() {
+        let g = generate(GraphKind::Uniform, 80, 320, false, 92);
+        for p in all_profiles() {
+            check(&g, &p, 8);
+        }
+    }
+
+    #[test]
+    fn majority_label_takes_over_a_clique() {
+        // complete graph where 7 of 8 nodes carry label 5: the minority
+        // node adopts 5 in one round and the majority keeps it
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                if u != v {
+                    edges.push((u, v, 1.0));
+                }
+            }
+        }
+        let mut g = Graph::from_edges(8, &edges, true);
+        g.labels = vec![5, 5, 5, 5, 5, 5, 5, 2];
+        let (labels, _) = run(&g, &oracle_like(), 3).unwrap();
+        assert!(labels.values().all(|&l| l == 5), "{labels:?}");
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_label() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)], true);
+        let (labels, _) = run(&g, &oracle_like(), 3).unwrap();
+        assert_eq!(labels[&2], g.labels[2] as i64);
+        assert_eq!(labels[&0], g.labels[0] as i64, "no in-edges: kept");
+    }
+}

@@ -1,0 +1,151 @@
+//! Markov-Clustering (van Dongen, Table 2): alternate *expansion* (the
+//! matrix squared — a nonlinear MM-join of the recursive relation with
+//! itself) and *inflation* (elementwise power + column re-normalization),
+//! pruning vanishing entries. Flow concentrates inside clusters.
+//!
+//! The recursive relation is the whole stochastic matrix, replaced
+//! wholesale per iteration (`union by update` without attributes).
+
+use crate::common::{self, EdgeStyle};
+use aio_algebra::EngineProfile;
+use aio_graph::Graph;
+use aio_storage::{row, FxHashMap, Relation};
+use aio_withplus::{QueryResult, Result};
+
+/// Inflation exponent r = 2 and the pruning threshold are the classic MCL
+/// defaults.
+pub fn sql(iters: usize) -> String {
+    format!(
+        "with M(F, T, ew) as (
+           (select EM.F, EM.T, EM.ew from EM)
+           union by update
+           (select Norm.F, Norm.T, Norm.ew from Norm where Norm.ew > :prune
+            computed by
+              Exp(F, T, ew) as select M1.F, M2.T, sum(M1.ew * M2.ew)
+                              from M as M1, M as M2
+                              where M1.T = M2.F group by M1.F, M2.T;
+              Infl(F, T, ew) as select Exp.F, Exp.T, Exp.ew * Exp.ew from Exp;
+              ColSum(T, s) as select Infl.T, sum(Infl.ew) from Infl group by Infl.T;
+              Norm(F, T, ew) as select Infl.F, Infl.T, Infl.ew / ColSum.s
+                               from Infl, ColSum where Infl.T = ColSum.T;)
+           maxrecursion {iters})
+         select * from M"
+    )
+}
+
+/// Run MCL; returns node → cluster id (the attractor row that holds the
+/// largest share of the node's column).
+pub fn run(
+    g: &Graph,
+    profile: &EngineProfile,
+    iters: usize,
+) -> Result<(FxHashMap<i64, i64>, QueryResult)> {
+    let mut db = common::db_for(g, profile, EdgeStyle::Raw)?;
+    // EM: column-stochastic matrix with self-loops (standard MCL input)
+    let mut indeg = vec![1usize; g.node_count()]; // 1 for the self-loop
+    for (_, v, _) in g.edges() {
+        indeg[v as usize] += 1;
+    }
+    let mut em = Relation::new(aio_storage::edge_schema());
+    for (u, v, _) in g.edges() {
+        em.push(row![u as i64, v as i64, 1.0 / indeg[v as usize] as f64])?;
+    }
+    for v in 0..g.node_count() {
+        em.push(row![v as i64, v as i64, 1.0 / indeg[v] as f64])?;
+    }
+    db.create_table("EM", em)?;
+    db.set_param("prune", 1e-4);
+    let out = db.execute(&sql(iters))?;
+
+    // decode: a node's cluster is the argmax row of its column
+    let mut best: FxHashMap<i64, (i64, f64)> = FxHashMap::default();
+    for r in out.relation.iter() {
+        let (f, t, w) = (
+            r[0].as_int().unwrap(),
+            r[1].as_int().unwrap(),
+            r[2].as_f64().unwrap(),
+        );
+        let e = best.entry(t).or_insert((f, w));
+        if w > e.1 {
+            *e = (f, w);
+        }
+    }
+    let clusters = best.into_iter().map(|(t, (f, _))| (t, f)).collect();
+    Ok((clusters, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aio_algebra::oracle_like;
+
+    /// Two 4-cliques joined by one bridge edge.
+    fn two_cliques() -> Graph {
+        let mut edges = Vec::new();
+        for base in [0u32, 4u32] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        edges.push((base + i, base + j, 1.0));
+                    }
+                }
+            }
+        }
+        edges.push((3, 4, 1.0));
+        edges.push((4, 3, 1.0));
+        Graph::from_edges(8, &edges, true)
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let g = two_cliques();
+        let (clusters, _) = run(&g, &oracle_like(), 20).unwrap();
+        // everyone in clique A shares a cluster, ditto clique B, and the
+        // two differ
+        let a = clusters[&0];
+        let b = clusters[&7];
+        assert_ne!(a, b, "{clusters:?}");
+        for v in 0..4 {
+            assert_eq!(clusters[&v], a, "node {v}: {clusters:?}");
+        }
+        for v in 4..8 {
+            assert_eq!(clusters[&v], b, "node {v}: {clusters:?}");
+        }
+    }
+
+    #[test]
+    fn columns_stay_stochastic() {
+        let g = two_cliques();
+        let mut db = common::db_for(&g, &oracle_like(), EdgeStyle::Raw).unwrap();
+        let mut indeg = vec![1usize; g.node_count()];
+        for (_, v, _) in g.edges() {
+            indeg[v as usize] += 1;
+        }
+        let mut em = Relation::new(aio_storage::edge_schema());
+        for (u, v, _) in g.edges() {
+            em.push(row![u as i64, v as i64, 1.0 / indeg[v as usize] as f64])
+                .unwrap();
+        }
+        for v in 0..g.node_count() {
+            em.push(row![v as i64, v as i64, 1.0 / indeg[v] as f64]).unwrap();
+        }
+        db.create_table("EM", em).unwrap();
+        db.set_param("prune", 1e-4);
+        let out = db.execute(&sql(3)).unwrap();
+        let mut sums: FxHashMap<i64, f64> = FxHashMap::default();
+        for r in out.relation.iter() {
+            *sums.entry(r[1].as_int().unwrap()).or_insert(0.0) += r[2].as_f64().unwrap();
+        }
+        for (t, s) in sums {
+            assert!((s - 1.0).abs() < 1e-3, "column {t} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn converges_to_sparse_attractors() {
+        let g = two_cliques();
+        let (_, out) = run(&g, &oracle_like(), 30).unwrap();
+        // at convergence the matrix is much sparser than n²
+        assert!(out.relation.len() <= 24, "{} rows", out.relation.len());
+    }
+}

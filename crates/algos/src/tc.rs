@@ -1,0 +1,111 @@
+//! Transitive closure (Fig. 1) — linear recursion, `union` / `union all`.
+
+use crate::common;
+use aio_algebra::EngineProfile;
+use aio_graph::Graph;
+use aio_storage::FxHashSet;
+use aio_withplus::{QueryResult, Result};
+
+/// TC by linear recursion with duplicate elimination (`union`), bounded by
+/// a recursion depth `d` so cyclic data terminates (Exp-C: "a threshold of
+/// recursive depth d needs to be specified").
+pub fn sql(depth: usize) -> String {
+    format!(
+        "with TC(F, T) as (
+           (select E.F, E.T from E)
+           union
+           (select TC.F, E.T from TC, E where TC.T = E.F)
+           maxrecursion {depth})
+         select * from TC"
+    )
+}
+
+/// TC with `union all` (what DB2/Oracle are limited to — duplicates are
+/// kept, so the depth bound is essential, Exp-C).
+pub fn sql_union_all(depth: usize) -> String {
+    format!(
+        "with TC(F, T) as (
+           (select E.F, E.T from E)
+           union all
+           (select TC.F, E.T from TC, E where TC.T = E.F)
+           maxrecursion {depth})
+         select * from TC"
+    )
+}
+
+/// Run TC; returns the set of reachable pairs.
+pub fn run(g: &Graph, profile: &EngineProfile, depth: usize) -> Result<(FxHashSet<(i64, i64)>, QueryResult)> {
+    let mut db = common::db_for(g, profile, common::EdgeStyle::Raw)?;
+    let out = db.execute(&sql(depth))?;
+    let pairs = out
+        .relation
+        .iter()
+        .filter_map(|r| Some((r[0].as_int()?, r[1].as_int()?)))
+        .collect();
+    Ok((pairs, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aio_algebra::{all_profiles, oracle_like};
+    use aio_graph::{generate, reference, GraphKind};
+
+    fn reference_tc(g: &Graph) -> FxHashSet<(i64, i64)> {
+        let mut pairs = FxHashSet::default();
+        for src in 0..g.node_count() as u32 {
+            let lv = reference::bfs_levels(g, src);
+            for (v, &l) in lv.iter().enumerate() {
+                if l != u32::MAX && l > 0 {
+                    pairs.insert((src as i64, v as i64));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn matches_reference_on_dag() {
+        let g = generate(GraphKind::CitationDag, 60, 150, true, 5);
+        let (pairs, _) = run(&g, &oracle_like(), 100).unwrap();
+        assert_eq!(pairs, reference_tc(&g));
+    }
+
+    #[test]
+    fn matches_reference_on_cyclic_graph() {
+        let g = generate(GraphKind::Uniform, 40, 100, true, 6);
+        // depth = n suffices for full closure with dedup
+        let (pairs, _) = run(&g, &oracle_like(), 60).unwrap();
+        let mut expected = reference_tc(&g);
+        // BFS-based reference excludes (v, v) unless v lies on a cycle;
+        // TC derives (v, v) exactly when v reaches itself — same thing,
+        // but the reference's level-0 exclusion drops self-pairs even on
+        // cycles, so recompute: v reaches v iff some successor reaches v.
+        for v in 0..g.node_count() as u32 {
+            for &w in g.neighbors(v) {
+                let lv = reference::bfs_levels(&g, w);
+                if lv[v as usize] != u32::MAX {
+                    expected.insert((v as i64, v as i64));
+                }
+            }
+        }
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn same_answer_across_profiles() {
+        let g = generate(GraphKind::CitationDag, 50, 120, true, 7);
+        let base = run(&g, &oracle_like(), 50).unwrap().0;
+        for p in all_profiles() {
+            assert_eq!(run(&g, &p, 50).unwrap().0, base, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn union_all_respects_depth_bound() {
+        let g = generate(GraphKind::Uniform, 20, 50, true, 8);
+        let mut db = common::db_for(&g, &oracle_like(), common::EdgeStyle::Raw).unwrap();
+        let out = db.execute(&sql_union_all(3)).unwrap();
+        assert!(out.stats.iterations.len() <= 3);
+    }
+}

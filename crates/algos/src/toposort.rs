@@ -1,0 +1,96 @@
+//! Topological sorting (Eq. 13, Fig. 5): anti-joins peel off level after
+//! level of a DAG; `union all` accumulates the sorted nodes; the recursion
+//! is nonlinear (Topo appears in several subqueries of the `computed by`
+//! chain).
+
+use crate::common::{self, EdgeStyle};
+use aio_algebra::EngineProfile;
+use aio_graph::Graph;
+use aio_storage::FxHashMap;
+use aio_withplus::{QueryResult, Result};
+
+/// Fig. 5 adapted to this dialect.
+pub const SQL: &str = "\
+with Topo(ID, L) as (
+  (select V.ID, 0 from V where V.ID not in (select E.T from E))
+  union all
+  (select T_n.ID, T_n.L from T_n
+   computed by
+     L_n(L) as select max(Topo.L) + 1 from Topo;
+     V_1(ID) as select V.ID from V where V.ID not in (select Topo.ID from Topo);
+     E_1(F, T) as select E.F, E.T from V_1, E where V_1.ID = E.F;
+     T_n(ID, L) as select V_1.ID, L_n.L from V_1, L_n
+                  where V_1.ID not in (select E_1.T from E_1);))
+select * from Topo";
+
+/// Run TopoSort; returns id → level. Nodes on cycles are never sorted and
+/// are absent from the result (Oracle-style per-tuple cycle behaviour).
+pub fn run(g: &Graph, profile: &EngineProfile) -> Result<(FxHashMap<i64, i64>, QueryResult)> {
+    let mut db = common::db_for(g, profile, EdgeStyle::Raw)?;
+    let out = db.execute(SQL)?;
+    Ok((common::node_i64_map(&out.relation), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aio_algebra::{all_profiles, oracle_like};
+    use aio_graph::{generate, reference, GraphKind};
+
+    fn check(g: &Graph, profile: &EngineProfile) {
+        let (levels, _) = run(g, profile).unwrap();
+        let expected = reference::topo_levels(g).expect("DAG");
+        assert_eq!(levels.len(), g.node_count());
+        for (v, &l) in expected.iter().enumerate() {
+            assert_eq!(levels[&(v as i64)], l as i64, "node {v}");
+        }
+    }
+
+    #[test]
+    fn matches_kahn_levels_on_citation_dag() {
+        let g = generate(GraphKind::CitationDag, 120, 400, true, 71);
+        check(&g, &oracle_like());
+    }
+
+    #[test]
+    fn all_profiles_agree() {
+        let g = generate(GraphKind::CitationDag, 80, 250, true, 72);
+        for p in all_profiles() {
+            check(&g, &p);
+        }
+    }
+
+    #[test]
+    fn level_ordering_respects_edges() {
+        let g = generate(GraphKind::CitationDag, 100, 300, true, 73);
+        let (levels, _) = run(&g, &oracle_like()).unwrap();
+        for (u, v, _) in g.edges() {
+            assert!(
+                levels[&(v as i64)] > levels[&(u as i64)],
+                "edge {u}→{v}: the cited node gains a longer incoming chain"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_part_left_unsorted() {
+        // 0→1→2→0 cycle plus 3 (source) → 0 and isolated 4
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (3, 0, 1.0)],
+            true,
+        );
+        let (levels, _) = run(&g, &oracle_like()).unwrap();
+        assert_eq!(levels.len(), 2, "only 3 and 4 are sortable: {levels:?}");
+        assert_eq!(levels[&3], 0);
+        assert_eq!(levels[&4], 0);
+    }
+
+    #[test]
+    fn terminates_by_delta_emptiness() {
+        let g = generate(GraphKind::CitationDag, 60, 150, true, 74);
+        let (_, out) = run(&g, &oracle_like()).unwrap();
+        let last = out.stats.iterations.last().unwrap();
+        assert_eq!(last.delta_rows, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benches for whole with+ algorithm runs (one dataset stand-in,
+//! all three profiles) — the per-algorithm half of Figs. 7/8 at bench
+//! scale.
+
+use aio_algebra::all_profiles;
+use aio_algos as algos;
+use aio_graph::DatasetSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SCALE: f64 = 0.0005;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let g = DatasetSpec::by_key("WV").unwrap().synthesize(SCALE);
+    let mut group = c.benchmark_group("pagerank_wv");
+    group.sample_size(10);
+    for p in all_profiles() {
+        group.bench_function(p.name, |b| {
+            b.iter(|| black_box(algos::pagerank::run(&g, &p, 0.85, 15).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sssp(c: &mut Criterion) {
+    let g = DatasetSpec::by_key("WV").unwrap().synthesize(SCALE);
+    let mut group = c.benchmark_group("sssp_wv");
+    group.sample_size(10);
+    for p in all_profiles() {
+        group.bench_function(p.name, |b| {
+            b.iter(|| black_box(algos::sssp::run(&g, &p, 0).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wcc(c: &mut Criterion) {
+    let g = DatasetSpec::by_key("YT").unwrap().synthesize(SCALE);
+    let mut group = c.benchmark_group("wcc_yt");
+    group.sample_size(10);
+    for p in all_profiles() {
+        group.bench_function(p.name, |b| {
+            b.iter(|| black_box(algos::wcc::run(&g, &p).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_toposort(c: &mut Criterion) {
+    let g = DatasetSpec::by_key("PC").unwrap().synthesize(SCALE * 0.2);
+    let mut group = c.benchmark_group("toposort_pc");
+    group.sample_size(10);
+    for p in all_profiles() {
+        group.bench_function(p.name, |b| {
+            b.iter(|| black_box(algos::toposort::run(&g, &p).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank, bench_sssp, bench_wcc, bench_toposort);
+criterion_main!(benches);

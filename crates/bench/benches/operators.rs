@@ -1,0 +1,138 @@
+//! Criterion micro-benches for the paper's four operations and their
+//! physical implementation variants (the operator-level half of Exp-1).
+
+use aio_algebra::ops::{
+    anti_join, mm_join, mv_join, union_by_update, AntiJoinImpl, JoinKeys, MvOrientation, UbuImpl,
+};
+use aio_algebra::{
+    oracle_like, postgres_like, AggStrategy, ExecStats, JoinStrategy, COUNTING, TROPICAL,
+};
+use aio_graph::{generate, load, GraphKind};
+use aio_storage::{node_schema, row, Catalog, Relation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_graph() -> (Relation, Relation) {
+    let g = generate(GraphKind::PowerLaw, 3_000, 20_000, true, 77);
+    (load::edge_relation(&g), load::node_relation(&g))
+}
+
+fn bench_aggregate_joins(c: &mut Criterion) {
+    let (e, v) = bench_graph();
+    let mut group = c.benchmark_group("aggregate_joins");
+    group.bench_function("mv_join_hash", |b| {
+        b.iter(|| {
+            let mut s = ExecStats::new();
+            black_box(
+                mv_join(
+                    &e,
+                    &v,
+                    &COUNTING,
+                    MvOrientation::Transposed,
+                    JoinStrategy::Hash,
+                    AggStrategy::Hash,
+                    &mut s,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("mv_join_sortmerge", |b| {
+        b.iter(|| {
+            let mut s = ExecStats::new();
+            black_box(
+                mv_join(
+                    &e,
+                    &v,
+                    &COUNTING,
+                    MvOrientation::Transposed,
+                    JoinStrategy::SortMerge,
+                    AggStrategy::Sort,
+                    &mut s,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    // MM-join on a smaller matrix (output is quadratic-ish)
+    let gs = generate(GraphKind::Uniform, 400, 3_000, true, 78);
+    let es = load::edge_relation(&gs);
+    group.bench_function("mm_join_tropical", |b| {
+        b.iter(|| {
+            let mut s = ExecStats::new();
+            black_box(
+                mm_join(
+                    &es,
+                    &es,
+                    &TROPICAL,
+                    JoinStrategy::Hash,
+                    AggStrategy::Hash,
+                    &mut s,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_anti_join(c: &mut Criterion) {
+    let (e, v) = bench_graph();
+    let keys = JoinKeys {
+        left: vec![0],
+        right: vec![1],
+    };
+    let mut group = c.benchmark_group("anti_join");
+    for imp in AntiJoinImpl::ALL {
+        group.bench_function(imp.name().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let mut s = ExecStats::new();
+                black_box(anti_join(&v, &e, &keys, imp, JoinStrategy::Hash, &mut s).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_by_update(c: &mut Criterion) {
+    let n = 20_000i64;
+    let target: Vec<(i64, f64)> = (0..n).map(|i| (i, i as f64)).collect();
+    let delta_rows: Vec<(i64, f64)> = (0..n / 2).map(|i| (i * 2, -1.0)).collect();
+    let profile = oracle_like();
+    let pg = postgres_like(false);
+    let mut group = c.benchmark_group("union_by_update");
+    for imp in UbuImpl::ALL {
+        let prof = if imp == UbuImpl::UpdateFrom { &pg } else { &profile };
+        group.bench_function(imp.name().replace(' ', "_").replace('/', "_"), |b| {
+            b.iter_with_setup(
+                || {
+                    let mut cat = Catalog::new();
+                    let mut t = Relation::with_pk(node_schema(), &["ID"]).unwrap();
+                    for &(id, w) in &target {
+                        t.push(row![id, w]).unwrap();
+                    }
+                    cat.create_temp("V", t).unwrap();
+                    let mut d = Relation::new(node_schema());
+                    for &(id, w) in &delta_rows {
+                        d.push(row![id, w]).unwrap();
+                    }
+                    (cat, d)
+                },
+                |(mut cat, d)| {
+                    let mut s = ExecStats::new();
+                    union_by_update(&mut cat, "V", d, Some(&[0]), imp, prof, &mut s).unwrap();
+                    black_box(cat);
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregate_joins,
+    bench_anti_join,
+    bench_union_by_update
+);
+criterion_main!(benches);

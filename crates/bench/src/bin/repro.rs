@@ -1,0 +1,85 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--scale S]
+//!
+//! EXPERIMENT: table1 table2 table3 table4_5 table6_7
+//!             fig7 fig8 fig10 fig11 fig12 fig13 | all (default: all)
+//! --scale S : dataset scale factor relative to the published sizes
+//!             (default 0.001; 1.0 = the full SNAP sizes)
+//! ```
+
+use aio_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.001f64;
+    let mut picks: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing/bad value for --scale"));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => picks.push(other.to_string()),
+        }
+    }
+    if picks.is_empty() {
+        picks.push("all".to_string());
+    }
+
+    let all = [
+        "table1", "table2", "table3", "table4_5", "table6_7", "fig7", "fig8", "fig10",
+        "fig11", "fig12", "fig13",
+    ];
+    let selected: Vec<&str> = if picks.iter().any(|p| p == "all") {
+        all.to_vec()
+    } else {
+        picks.iter().map(|s| s.as_str()).collect()
+    };
+
+    println!("all-in-one reproduction harness — scale {scale}\n");
+    for pick in selected {
+        let started = std::time::Instant::now();
+        let out = match pick {
+            "table1" => exp::table1(),
+            "table2" => exp::table2(),
+            "table3" => exp::table3(scale),
+            "table4_5" | "table4" | "table5" => exp::table4_5(scale),
+            "table6_7" | "table6" | "table7" => exp::table6_7(scale),
+            "exp1" => exp::exp1(scale),
+            "fig7" => exp::fig7(scale),
+            "fig8" => exp::fig8(scale),
+            "fig10" => exp::fig10(scale),
+            "fig11" => exp::fig11(scale),
+            "fig12" => exp::fig12(scale),
+            "fig13" => exp::fig13(scale),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                continue;
+            }
+        };
+        println!("{out}");
+        println!(
+            "[{pick} done in {:.1}s]\n{}",
+            started.elapsed().as_secs_f64(),
+            "=".repeat(72)
+        );
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [EXPERIMENT ...] [--scale S]\n\
+         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

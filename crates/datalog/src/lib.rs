@@ -1,0 +1,24 @@
+//! # aio-datalog — DATALOG substrate for the fixpoint semantics of with+
+//!
+//! Section 5 of *"All-in-One: Graph Processing in RDBMSs Revisited"* grounds
+//! the enhanced `with` clause in DATALOG: the four non-monotonic operations
+//! are translated to rules (Eqs. 14–22), and **XY-stratification**
+//! (Zaniolo et al.) certifies a fixpoint. This crate provides:
+//!
+//! * [`rule`] — predicate-level rules with temporal (stage) arguments;
+//! * [`depgraph`] — the dependency graph (Definition 9.1), stratifiability
+//!   and strata (Definition 9.2);
+//! * [`xy`] — XY-program syntax (Definition 9.3), the bi-state transform
+//!   and the decidable XY-stratification test;
+//! * [`seminaive`] — a positive-DATALOG semi-naive evaluator (the engine
+//!   behind SQL'99 `with` and our SociaLite stand-in).
+
+pub mod depgraph;
+pub mod rule;
+pub mod seminaive;
+pub mod xy;
+
+pub use depgraph::DependencyGraph;
+pub use rule::{Atom, Program, Rule, Temporal};
+pub use seminaive::SemiNaive;
+pub use xy::{bi_state, check_xy_syntax, is_xy_stratified, XyViolation};

@@ -1,0 +1,245 @@
+//! A semi-naive evaluator for positive DATALOG.
+//!
+//! This is the classic bottom-up evaluation that "the implementation taken
+//! behind `with` (e.g. Seminaive)" uses (Exp-C, Fig. 13), and the core of
+//! our SociaLite stand-in: per iteration, each recursive subgoal is joined
+//! against the *delta* of the previous iteration rather than the whole
+//! relation.
+//!
+//! Arguments are 64-bit integers; an argument string starting with an
+//! uppercase letter is a variable, anything else parses as a constant.
+
+use crate::rule::{Program, Rule};
+use std::collections::{HashMap, HashSet};
+
+type Tuple = Vec<i64>;
+type RelSet = HashSet<Tuple>;
+
+/// Bottom-up evaluation state.
+#[derive(Debug, Default)]
+pub struct SemiNaive {
+    rels: HashMap<String, RelSet>,
+    /// Number of iterations the last `run` took.
+    pub iterations: usize,
+    /// Facts derived (including duplicates suppressed), for cost reporting.
+    pub derivations: u64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Term {
+    Var(String),
+    Const(i64),
+}
+
+fn parse_term(s: &str) -> Term {
+    match s.parse::<i64>() {
+        Ok(v) => Term::Const(v),
+        Err(_) => Term::Var(s.to_string()),
+    }
+}
+
+impl SemiNaive {
+    pub fn new() -> Self {
+        SemiNaive::default()
+    }
+
+    /// Load extensional facts.
+    pub fn add_facts(&mut self, pred: &str, tuples: impl IntoIterator<Item = Tuple>) {
+        self.rels
+            .entry(pred.to_string())
+            .or_default()
+            .extend(tuples);
+    }
+
+    pub fn relation(&self, pred: &str) -> Option<&RelSet> {
+        self.rels.get(pred)
+    }
+
+    fn eval_rule(
+        &self,
+        rule: &Rule,
+        delta: &HashMap<String, RelSet>,
+        use_delta_at: Option<usize>,
+    ) -> Vec<Tuple> {
+        // Bind body atoms left to right with a substitution map.
+        let empty: RelSet = RelSet::new();
+        let mut results: Vec<HashMap<String, i64>> = vec![HashMap::new()];
+        for (i, atom) in rule.body.iter().enumerate() {
+            debug_assert!(!atom.negated, "semi-naive evaluator is positive-only");
+            let source: &RelSet = if Some(i) == use_delta_at {
+                delta.get(&atom.pred).unwrap_or(&empty)
+            } else {
+                self.rels.get(&atom.pred).unwrap_or(&empty)
+            };
+            let terms: Vec<Term> = atom.args.iter().map(|a| parse_term(a)).collect();
+            let mut next = Vec::new();
+            for sub in &results {
+                'tuple: for t in source {
+                    if t.len() != terms.len() {
+                        continue;
+                    }
+                    let mut s2 = sub.clone();
+                    for (term, &v) in terms.iter().zip(t) {
+                        match term {
+                            Term::Const(c) => {
+                                if *c != v {
+                                    continue 'tuple;
+                                }
+                            }
+                            Term::Var(name) => match s2.get(name) {
+                                Some(&bound) if bound != v => continue 'tuple,
+                                Some(_) => {}
+                                None => {
+                                    s2.insert(name.clone(), v);
+                                }
+                            },
+                        }
+                    }
+                    next.push(s2);
+                }
+            }
+            results = next;
+            if results.is_empty() {
+                return Vec::new();
+            }
+        }
+        let head_terms: Vec<Term> = rule.head.args.iter().map(|a| parse_term(a)).collect();
+        results
+            .into_iter()
+            .map(|sub| {
+                head_terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => *sub.get(v).unwrap_or(&0),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Run the program to fixpoint using semi-naive iteration; returns the
+    /// sizes of each IDB relation.
+    pub fn run(&mut self, program: &Program, max_iterations: usize) -> HashMap<String, usize> {
+        let idb = program.idb_predicates();
+        for p in &idb {
+            self.rels.entry(p.clone()).or_default();
+        }
+        // Round 0: naive evaluation of every rule seeds the deltas.
+        let mut delta: HashMap<String, RelSet> = HashMap::new();
+        for rule in &program.rules {
+            for t in self.eval_rule(rule, &HashMap::new(), None) {
+                self.derivations += 1;
+                if self.rels.get_mut(&rule.head.pred).unwrap().insert(t.clone()) {
+                    delta.entry(rule.head.pred.clone()).or_default().insert(t);
+                }
+            }
+        }
+        self.iterations = 0;
+        while !delta.is_empty() && self.iterations < max_iterations {
+            self.iterations += 1;
+            let mut next_delta: HashMap<String, RelSet> = HashMap::new();
+            for rule in &program.rules {
+                for (i, atom) in rule.body.iter().enumerate() {
+                    if !delta.contains_key(&atom.pred) {
+                        continue;
+                    }
+                    for t in self.eval_rule(rule, &delta, Some(i)) {
+                        self.derivations += 1;
+                        if self
+                            .rels
+                            .get_mut(&rule.head.pred)
+                            .unwrap()
+                            .insert(t.clone())
+                        {
+                            next_delta
+                                .entry(rule.head.pred.clone())
+                                .or_default()
+                                .insert(t);
+                        }
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+        idb.iter()
+            .map(|p| (p.clone(), self.rels[p].len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Atom, Rule};
+
+    fn tc_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                Atom::new("tc").with_args(&["X", "Y"]),
+                vec![Atom::new("e").with_args(&["X", "Y"])],
+            ),
+            Rule::new(
+                Atom::new("tc").with_args(&["X", "Z"]),
+                vec![
+                    Atom::new("tc").with_args(&["X", "Y"]),
+                    Atom::new("e").with_args(&["Y", "Z"]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn transitive_closure_of_a_path() {
+        let mut ev = SemiNaive::new();
+        ev.add_facts("e", (1..5).map(|i| vec![i, i + 1]));
+        let sizes = ev.run(&tc_program(), 100);
+        // path 1→2→3→4→5: C(5,2) = 10 pairs
+        assert_eq!(sizes["tc"], 10);
+        assert!(ev.relation("tc").unwrap().contains(&vec![1, 5]));
+    }
+
+    #[test]
+    fn cycle_terminates_at_fixpoint() {
+        let mut ev = SemiNaive::new();
+        ev.add_facts("e", vec![vec![1, 2], vec![2, 3], vec![3, 1]]);
+        let sizes = ev.run(&tc_program(), 100);
+        assert_eq!(sizes["tc"], 9, "complete closure on a 3-cycle");
+        assert!(ev.iterations < 10, "semi-naive stops when delta drains");
+    }
+
+    #[test]
+    fn constants_in_rules_filter() {
+        // from1(Y) :- tc(1, Y).
+        let mut p = tc_program();
+        p.rules.push(Rule::new(
+            Atom::new("from1").with_args(&["Y"]),
+            vec![Atom::new("tc").with_args(&["1", "Y"])],
+        ));
+        let mut ev = SemiNaive::new();
+        ev.add_facts("e", vec![vec![1, 2], vec![2, 3], vec![7, 8]]);
+        let sizes = ev.run(&p, 100);
+        assert_eq!(sizes["from1"], 2); // {2, 3}
+    }
+
+    #[test]
+    fn repeated_variable_enforces_equality() {
+        // loop(X) :- e(X, X).
+        let p = Program::new(vec![Rule::new(
+            Atom::new("loop").with_args(&["X"]),
+            vec![Atom::new("e").with_args(&["X", "X"])],
+        )]);
+        let mut ev = SemiNaive::new();
+        ev.add_facts("e", vec![vec![1, 1], vec![1, 2]]);
+        let sizes = ev.run(&p, 10);
+        assert_eq!(sizes["loop"], 1);
+    }
+
+    #[test]
+    fn max_iterations_bounds_runaway() {
+        let mut ev = SemiNaive::new();
+        ev.add_facts("e", (0..50).map(|i| vec![i, i + 1]));
+        ev.run(&tc_program(), 3);
+        assert_eq!(ev.iterations, 3);
+    }
+}

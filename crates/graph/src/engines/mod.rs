@@ -1,0 +1,10 @@
+//! Native graph-engine stand-ins for the Fig. 11 comparison:
+//! PowerGraph-like GAS, Giraph-like BSP, SociaLite-like DATALOG.
+
+pub mod bsp;
+pub mod datalog_like;
+pub mod vertex_centric;
+
+pub use bsp::Bsp;
+pub use datalog_like::DatalogEngine;
+pub use vertex_centric::VertexCentric;

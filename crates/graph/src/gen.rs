@@ -1,0 +1,157 @@
+//! Seeded synthetic graph generators.
+//!
+//! Stand-ins for the SNAP datasets of Table 3 (no network access in this
+//! reproduction): a preferential-attachment generator for the power-law
+//! social/web graphs, Erdős–Rényi for near-uniform graphs, and a citation
+//! generator whose edges always point from newer to older nodes — a DAG by
+//! construction, as U.S. Patent Citation effectively is for TopoSort.
+//!
+//! All generators are deterministic given a seed.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Roughly how a dataset's degree structure looks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Heavy-tailed degree distribution (social networks, web graphs).
+    PowerLaw,
+    /// Near-uniform degrees.
+    Uniform,
+    /// Acyclic: edges from newer to older nodes (citations).
+    CitationDag,
+}
+
+/// Generate a graph with ~`m` edges over `n` nodes.
+pub fn generate(kind: GraphKind, n: usize, m: usize, directed: bool, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = match kind {
+        GraphKind::PowerLaw => power_law_edges(n, m, directed, &mut rng),
+        GraphKind::Uniform => uniform_edges(n, m, &mut rng),
+        GraphKind::CitationDag => citation_edges(n, m, &mut rng),
+    };
+    // citation graphs are directed by construction
+    let directed = directed || kind == GraphKind::CitationDag;
+    let mut g = Graph::from_edges(n, &edges, directed);
+    // node weights in [0, 20] (Section 7, for MNM) and labels from a small
+    // alphabet (for LP / KS)
+    g.node_weights = (0..n).map(|_| rng.random_range(0.0..20.0)).collect();
+    g.labels = (0..n).map(|_| rng.random_range(0..8u32)).collect();
+    g
+}
+
+/// Preferential attachment à la Barabási–Albert with random endpoints
+/// biased by an endpoint pool (each accepted edge feeds its endpoints back
+/// into the pool, giving the heavy tail).
+fn power_law_edges(n: usize, m: usize, _directed: bool, rng: &mut StdRng) -> Vec<(u32, u32, f64)> {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity(m);
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * m);
+    // ring seed so everything is attachable
+    pool.push(0);
+    pool.push(1);
+    edges.push((0, 1, 1.0));
+    while edges.len() < m {
+        let u = rng.random_range(0..n as u32);
+        // 70%: attach preferentially; 30%: uniform (keeps the tail finite)
+        let v = if rng.random_bool(0.7) {
+            pool[rng.random_range(0..pool.len())]
+        } else {
+            rng.random_range(0..n as u32)
+        };
+        if u == v {
+            continue;
+        }
+        edges.push((u, v, 1.0));
+        pool.push(u);
+        pool.push(v);
+        if pool.len() > 4 * m {
+            pool.truncate(2 * m);
+        }
+    }
+    edges
+}
+
+fn uniform_edges(n: usize, m: usize, rng: &mut StdRng) -> Vec<(u32, u32, f64)> {
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            edges.push((u, v, 1.0));
+        }
+    }
+    edges
+}
+
+/// Edges from a higher-id node to a lower-id node: a DAG. Target choice is
+/// biased toward recent nodes (citations favour recent work).
+fn citation_edges(n: usize, m: usize, rng: &mut StdRng) -> Vec<(u32, u32, f64)> {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(1..n as u32);
+        // bias: v in [u/2, u) half the time, uniform otherwise
+        let v = if u > 2 && rng.random_bool(0.5) {
+            rng.random_range(u / 2..u)
+        } else {
+            rng.random_range(0..u)
+        };
+        edges.push((u, v, 1.0));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(GraphKind::PowerLaw, 100, 400, true, 7);
+        let b = generate(GraphKind::PowerLaw, 100, 400, true, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
+        let c = generate(GraphKind::PowerLaw, 100, 400, true, 8);
+        assert!(a.edges().zip(c.edges()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn sizes_respected() {
+        let g = generate(GraphKind::Uniform, 50, 200, true, 1);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 200);
+        let u = generate(GraphKind::Uniform, 50, 200, false, 1);
+        assert_eq!(u.edge_count(), 400, "undirected stores both directions");
+    }
+
+    #[test]
+    fn citation_graph_is_a_dag() {
+        let g = generate(GraphKind::CitationDag, 300, 1200, true, 3);
+        assert!(g.is_dag());
+        assert!(g.edges().all(|(u, v, _)| v < u));
+    }
+
+    #[test]
+    fn power_law_has_heavy_tail() {
+        let g = generate(GraphKind::PowerLaw, 2000, 10_000, true, 5);
+        let mut in_deg = vec![0usize; 2000];
+        for (_, v, _) in g.edges() {
+            in_deg[v as usize] += 1;
+        }
+        let max = *in_deg.iter().max().unwrap();
+        let avg = 10_000.0 / 2000.0;
+        assert!(
+            (max as f64) > 8.0 * avg,
+            "hub degree {max} should dwarf the average {avg}"
+        );
+    }
+
+    #[test]
+    fn metadata_ranges() {
+        let g = generate(GraphKind::Uniform, 100, 300, true, 9);
+        assert!(g.node_weights.iter().all(|&w| (0.0..20.0).contains(&w)));
+        assert!(g.labels.iter().all(|&l| l < 8));
+    }
+}

@@ -1,0 +1,226 @@
+//! Compressed-sparse-row directed graphs.
+//!
+//! The weighted directed graph model of Section 4: node weights `ω(v)`,
+//! edge weights `ω(u, v)`. Undirected graphs are "maintained as a directed
+//! graph by including two directed edges for an undirected edge"
+//! (Section 7), which the builder does when `directed = false`.
+
+/// A weighted digraph in CSR form, plus node weights and labels.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    /// Was the source data directed? (Undirected graphs are stored
+    /// symmetrized.)
+    pub directed: bool,
+    /// ω(v), used by Maximal-Node-Matching (random in [0, 20] per §7).
+    pub node_weights: Vec<f64>,
+    /// Node labels for Label-Propagation / Keyword-Search.
+    pub labels: Vec<u32>,
+}
+
+impl Graph {
+    /// Build from an edge list. For `directed = false` each edge is added
+    /// in both directions. Self-loops and duplicate edges are kept as
+    /// given (generators avoid them).
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f64)], directed: bool) -> Graph {
+        let mut all: Vec<(u32, u32, f64)> = Vec::with_capacity(if directed {
+            edges.len()
+        } else {
+            edges.len() * 2
+        });
+        all.extend_from_slice(edges);
+        if !directed {
+            all.extend(edges.iter().map(|&(u, v, w)| (v, u, w)));
+        }
+        let mut degree = vec![0usize; n];
+        for &(u, _, _) in &all {
+            degree[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; all.len()];
+        let mut weights = vec![0f64; all.len()];
+        for &(u, v, w) in &all {
+            let slot = cursor[u as usize];
+            targets[slot] = v;
+            weights[slot] = w;
+            cursor[u as usize] += 1;
+        }
+        Graph {
+            n,
+            offsets,
+            targets,
+            weights,
+            directed,
+            node_weights: vec![1.0; n],
+            labels: vec![0; n],
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Stored (directed) edge count — twice the undirected edge count for
+    /// symmetrized graphs.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    #[inline]
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    #[inline]
+    pub fn edge_weights(&self, v: u32) -> &[f64] {
+        &self.weights[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// The transposed graph (in-edges become out-edges). Node metadata is
+    /// shared.
+    pub fn reverse(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.targets.len());
+        for u in 0..self.n as u32 {
+            for (i, &v) in self.neighbors(u).iter().enumerate() {
+                edges.push((v, u, self.edge_weights(u)[i]));
+            }
+        }
+        let mut g = Graph::from_edges(self.n, &edges, true);
+        g.directed = self.directed;
+        g.node_weights = self.node_weights.clone();
+        g.labels = self.labels.clone();
+        g
+    }
+
+    /// Iterate all stored edges `(u, v, w)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.n as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .zip(self.edge_weights(u))
+                .map(move |(&v, &w)| (u, v, w))
+        })
+    }
+
+    /// Average out-degree of the stored representation.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.n as f64
+        }
+    }
+
+    /// True iff the stored digraph has no cycle (DFS 3-color).
+    pub fn is_dag(&self) -> bool {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; self.n];
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for s in 0..self.n as u32 {
+            if color[s as usize] != WHITE {
+                continue;
+            }
+            color[s as usize] = GRAY;
+            stack.push((s, 0));
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < self.out_degree(v) {
+                    let w = self.neighbors(v)[*i];
+                    *i += 1;
+                    match color[w as usize] {
+                        GRAY => return false,
+                        WHITE => {
+                            color[w as usize] = GRAY;
+                            stack.push((w, 0));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[v as usize] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0→1, 0→2, 1→3, 2→3
+        Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+            true,
+        )
+    }
+
+    #[test]
+    fn csr_neighbors() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn undirected_symmetrizes() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)], false);
+        assert_eq!(g.edge_count(), 4);
+        let mut nb = g.neighbors(1).to_vec();
+        nb.sort_unstable();
+        assert_eq!(nb, vec![0, 2]);
+    }
+
+    #[test]
+    fn reverse_transposes() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.neighbors(3), &[1, 2]);
+        assert_eq!(r.neighbors(0), &[] as &[u32]);
+        assert_eq!(r.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let g = diamond();
+        let collected: Vec<_> = g.edges().collect();
+        assert_eq!(collected.len(), 4);
+        assert!(collected.contains(&(1, 3, 1.0)));
+    }
+
+    #[test]
+    fn dag_detection() {
+        assert!(diamond().is_dag());
+        let cyc = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)], true);
+        assert!(!cyc.is_dag());
+        let undirected = Graph::from_edges(2, &[(0, 1, 1.0)], false);
+        assert!(!undirected.is_dag(), "symmetrized edges form 2-cycles");
+    }
+
+    #[test]
+    fn avg_degree() {
+        assert_eq!(diamond().avg_degree(), 1.0);
+    }
+}

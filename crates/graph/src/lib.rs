@@ -1,0 +1,19 @@
+//! # aio-graph — graph substrate for the All-in-One reproduction
+//!
+//! CSR digraphs, seeded synthetic stand-ins for the paper's nine SNAP
+//! datasets (Table 3), graph↔relation loaders, textbook reference
+//! implementations used as correctness oracles, and the three native
+//! graph-engine comparators of Exp-B (Fig. 11).
+
+pub mod datasets;
+pub mod engines;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod load;
+pub mod reference;
+
+pub use datasets::{DatasetSpec, DATASETS};
+pub use gen::{generate, GraphKind};
+pub use graph::Graph;
+pub use io::{read_edge_list, read_edge_list_file};

@@ -1,0 +1,249 @@
+//! The catalog: named base tables and session temporary tables.
+//!
+//! The PSM translation of a with+ query (Algorithm 1) creates a temporary
+//! table per `computed by` relation plus the recursive relation itself,
+//! fills them with `INSERT ... SELECT`, and truncates them between
+//! iterations. The catalog tracks which tables are temporary because the
+//! paper's PostgreSQL behaviour hinges on it: *"PostgreSQL does not generate
+//! the optimal plan for temporary tables due to the lack of sufficient
+//! statistical information"* (Section 7.2). Base tables have statistics;
+//! temp tables do not.
+
+use crate::error::{Result, StorageError};
+use crate::index::SortedIndex;
+use crate::relation::{Relation, Row};
+use crate::wal::{Wal, WalPolicy};
+use std::collections::HashMap;
+
+/// A catalog entry.
+#[derive(Clone, Debug)]
+pub struct TableEntry {
+    pub rel: Relation,
+    /// Temporary (session) table: no optimizer statistics.
+    pub temp: bool,
+    /// Sorted indexes built over this table (Exp-A, Fig. 10).
+    pub indexes: Vec<SortedIndex>,
+}
+
+/// Named relations plus the WAL.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableEntry>,
+    /// Simulated redo log shared by all tables.
+    pub wal: Wal,
+}
+
+fn norm(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a base table (has statistics).
+    pub fn create_table(&mut self, name: &str, rel: Relation) -> Result<()> {
+        self.create(name, rel, false)
+    }
+
+    /// Register a temporary table (no statistics; optimizer-relevant).
+    pub fn create_temp(&mut self, name: &str, rel: Relation) -> Result<()> {
+        self.create(name, rel, true)
+    }
+
+    fn create(&mut self, name: &str, rel: Relation, temp: bool) -> Result<()> {
+        let key = norm(name);
+        if self.tables.contains_key(&key) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        self.tables.insert(
+            key,
+            TableEntry {
+                rel,
+                temp,
+                indexes: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Register, replacing any previous table of that name (used by the
+    /// `drop`/`alter` union-by-update implementation and by experiment
+    /// set-up code).
+    pub fn create_or_replace(&mut self, name: &str, rel: Relation, temp: bool) {
+        self.tables.insert(
+            norm(name),
+            TableEntry {
+                rel,
+                temp,
+                indexes: Vec::new(),
+            },
+        );
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<Relation> {
+        self.tables
+            .remove(&norm(name))
+            .map(|e| e.rel)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// `ALTER TABLE old RENAME TO new` (the second half of the drop/alter
+    /// union-by-update implementation, Table 4/5).
+    pub fn rename_table(&mut self, old: &str, new: &str) -> Result<()> {
+        if self.tables.contains_key(&norm(new)) {
+            return Err(StorageError::TableExists(new.to_string()));
+        }
+        let e = self
+            .tables
+            .remove(&norm(old))
+            .ok_or_else(|| StorageError::NoSuchTable(old.to_string()))?;
+        self.tables.insert(norm(new), e);
+        Ok(())
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&norm(name))
+    }
+
+    pub fn entry(&self, name: &str) -> Result<&TableEntry> {
+        self.tables
+            .get(&norm(name))
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn entry_mut(&mut self, name: &str) -> Result<&mut TableEntry> {
+        self.tables
+            .get_mut(&norm(name))
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.entry(name).map(|e| &e.rel)
+    }
+
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.entry_mut(name).map(|e| &mut e.rel)
+    }
+
+    /// `TRUNCATE TABLE` — the paper's per-iteration cleanup of intermediate
+    /// results ("the intermediate result of Q_i is cleaned up by the
+    /// truncate table clause", appendix). Drops indexes too, since they
+    /// index nothing afterwards.
+    pub fn truncate(&mut self, name: &str) -> Result<()> {
+        let e = self.entry_mut(name)?;
+        e.rel.truncate();
+        e.indexes.clear();
+        Ok(())
+    }
+
+    /// Bulk insert, logging per `policy`.
+    pub fn insert_rows(&mut self, name: &str, rows: Vec<Row>, policy: WalPolicy) -> Result<()> {
+        self.wal.log_insert(policy, &rows);
+        let e = self.entry_mut(name)?;
+        // Inserts invalidate sorted order; a real engine maintains the
+        // B-tree incrementally, we rebuild lazily on next use instead.
+        e.indexes.clear();
+        e.rel.extend(rows)
+    }
+
+    /// Build (or rebuild) a sorted index on `cols`.
+    pub fn build_index(&mut self, name: &str, cols: &[usize]) -> Result<()> {
+        let e = self.entry_mut(name)?;
+        if e.indexes.iter().any(|i| i.covers(cols)) {
+            return Ok(());
+        }
+        let idx = SortedIndex::build(&e.rel, cols);
+        e.indexes.push(idx);
+        Ok(())
+    }
+
+    /// A sorted index covering exactly `cols`, if one was built.
+    pub fn index_on(&self, name: &str, cols: &[usize]) -> Option<&SortedIndex> {
+        self.tables
+            .get(&norm(name))
+            .and_then(|e| e.indexes.iter().find(|i| i.covers(cols)))
+    }
+
+    /// All table names (normalized), sorted for determinism.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{edge_schema, node_schema};
+    use crate::row;
+
+    #[test]
+    fn create_get_drop_roundtrip() {
+        let mut c = Catalog::new();
+        c.create_table("E", Relation::new(edge_schema())).unwrap();
+        assert!(c.contains("e"), "names are case-insensitive");
+        assert!(matches!(
+            c.create_table("e", Relation::new(edge_schema())),
+            Err(StorageError::TableExists(_))
+        ));
+        c.drop_table("E").unwrap();
+        assert!(!c.contains("E"));
+        assert!(c.drop_table("E").is_err());
+    }
+
+    #[test]
+    fn rename_moves_entry() {
+        let mut c = Catalog::new();
+        c.create_temp("V_new", Relation::new(node_schema())).unwrap();
+        c.create_table("V", Relation::new(node_schema())).unwrap();
+        c.drop_table("V").unwrap();
+        c.rename_table("V_new", "V").unwrap();
+        assert!(c.contains("V"));
+        assert!(!c.contains("V_new"));
+    }
+
+    #[test]
+    fn rename_refuses_to_clobber() {
+        let mut c = Catalog::new();
+        c.create_table("A", Relation::new(node_schema())).unwrap();
+        c.create_table("B", Relation::new(node_schema())).unwrap();
+        assert!(c.rename_table("A", "B").is_err());
+    }
+
+    #[test]
+    fn insert_logs_and_invalidates_indexes() {
+        let mut c = Catalog::new();
+        c.create_temp("T", Relation::new(node_schema())).unwrap();
+        c.insert_rows("T", vec![row![1, 1.0], row![2, 2.0]], WalPolicy::Light)
+            .unwrap();
+        assert_eq!(c.relation("T").unwrap().len(), 2);
+        assert!(c.wal.bytes_written() > 0);
+        c.build_index("T", &[0]).unwrap();
+        assert!(c.index_on("T", &[0]).is_some());
+        c.insert_rows("T", vec![row![3, 3.0]], WalPolicy::None).unwrap();
+        assert!(c.index_on("T", &[0]).is_none(), "insert invalidates index");
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut c = Catalog::new();
+        c.create_temp("T", Relation::new(node_schema())).unwrap();
+        c.insert_rows("T", vec![row![1, 1.0]], WalPolicy::None).unwrap();
+        c.build_index("T", &[0]).unwrap();
+        c.truncate("T").unwrap();
+        assert!(c.relation("T").unwrap().is_empty());
+        assert!(c.index_on("T", &[0]).is_none());
+    }
+
+    #[test]
+    fn temp_flag_tracked() {
+        let mut c = Catalog::new();
+        c.create_table("base", Relation::new(node_schema())).unwrap();
+        c.create_temp("tmp", Relation::new(node_schema())).unwrap();
+        assert!(!c.entry("base").unwrap().temp);
+        assert!(c.entry("tmp").unwrap().temp);
+    }
+}

@@ -1,0 +1,106 @@
+//! A fast, non-cryptographic hasher for internal hash tables.
+//!
+//! Join keys are overwhelmingly small integers (node identifiers), for which
+//! SipHash is needlessly slow. This is the well-known "Fx" multiply-rotate
+//! hash used by rustc; collision quality is adequate for in-process hash
+//! joins and HashDoS is not a concern for an embedded engine.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher (the rustc "FxHasher").
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_ints_hash_differently() {
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000i64 {
+            seen.insert(i);
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = |b: &[u8]| {
+            let mut s = FxHasher::default();
+            s.write(b);
+            s.finish()
+        };
+        assert_eq!(h(b"edge"), h(b"edge"));
+        assert_ne!(h(b"edge"), h(b"node"));
+    }
+
+    #[test]
+    fn unaligned_tail_covered() {
+        let h = |b: &[u8]| {
+            let mut s = FxHasher::default();
+            s.write(b);
+            s.finish()
+        };
+        assert_ne!(h(b"123456789"), h(b"12345678"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Secondary indexes over relations.
+//!
+//! The paper's Exp-A studies the effect of building indexes on the temporary
+//! tables the PSM translation creates: in PostgreSQL the optimizer picks a
+//! merge join for statistics-free temp tables, and a sorted index on the
+//! join attribute lets it index-scan instead of sorting (Fig. 10). We model
+//! exactly those two structures:
+//!
+//! * [`HashIndex`] — equality lookups (what a hash join builds ad hoc).
+//! * [`SortedIndex`] — a permutation of row ids ordered by the key columns
+//!   (a B+-tree's leaf order); a merge join can consume it without sorting.
+
+use crate::hash::FxHashMap;
+use crate::relation::{Key, Relation};
+
+/// Equality index: key columns → row indexes.
+#[derive(Clone, Debug)]
+pub struct HashIndex {
+    cols: Vec<usize>,
+    map: FxHashMap<Key, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Build over `rel[cols]`.
+    pub fn build(rel: &Relation, cols: &[usize]) -> Self {
+        HashIndex {
+            cols: cols.to_vec(),
+            map: rel.key_multimap(cols),
+        }
+    }
+
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Row ids matching `key` (empty if none).
+    pub fn get(&self, key: &Key) -> &[u32] {
+        self.map.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Ordered index: a permutation of row ids sorted by the key columns.
+#[derive(Clone, Debug)]
+pub struct SortedIndex {
+    cols: Vec<usize>,
+    perm: Vec<u32>,
+}
+
+impl SortedIndex {
+    /// Build over `rel[cols]` (one O(n log n) sort, paid at build time —
+    /// this is the cost the PSM procedure pays once per temp-table fill).
+    pub fn build(rel: &Relation, cols: &[usize]) -> Self {
+        let rows = rel.rows();
+        let mut perm: Vec<u32> = (0..rows.len() as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            let (ra, rb) = (&rows[a as usize], &rows[b as usize]);
+            for &c in cols {
+                match ra[c].cmp(&rb[c]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        SortedIndex {
+            cols: cols.to_vec(),
+            perm,
+        }
+    }
+
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Row ids in key order. Consuming this is an *index scan*: sequential
+    /// over the permutation but random-access into the heap rows — the
+    /// paper's explanation for why indexing can lose on Orkut (Fig. 10(d)).
+    pub fn order(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Does this index cover exactly the requested key columns?
+    pub fn covers(&self, cols: &[usize]) -> bool {
+        self.cols == cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::edge_schema;
+    use crate::row;
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(edge_schema());
+        r.extend([
+            row![3, 1, 1.0],
+            row![1, 2, 1.0],
+            row![2, 3, 1.0],
+            row![1, 3, 1.0],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn hash_index_lookup() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.distinct_keys(), 3);
+        let k = Key(vec![1i64.into()].into());
+        let hits = idx.get(&k);
+        assert_eq!(hits.len(), 2);
+        for &h in hits {
+            assert_eq!(r.rows()[h as usize][0].as_int(), Some(1));
+        }
+        let miss = Key(vec![9i64.into()].into());
+        assert!(idx.get(&miss).is_empty());
+    }
+
+    #[test]
+    fn sorted_index_orders_rows() {
+        let r = rel();
+        let idx = SortedIndex::build(&r, &[0, 1]);
+        let keys: Vec<(i64, i64)> = idx
+            .order()
+            .iter()
+            .map(|&i| {
+                let row = &r.rows()[i as usize];
+                (row[0].as_int().unwrap(), row[1].as_int().unwrap())
+            })
+            .collect();
+        assert_eq!(keys, vec![(1, 2), (1, 3), (2, 3), (3, 1)]);
+        assert!(idx.covers(&[0, 1]));
+        assert!(!idx.covers(&[1]));
+    }
+}

@@ -1,0 +1,31 @@
+//! # aio-storage — the relational storage substrate
+//!
+//! In-memory relations, schemas, indexes, a catalog with temporary tables,
+//! and a simulated write-ahead log. This is the bottom layer of the
+//! `all-in-one` reproduction of *"All-in-One: Graph Processing in RDBMSs
+//! Revisited"* (Zhao & Yu, SIGMOD 2017): everything above it — relational
+//! algebra, the four new operations, the with+ engine — manipulates the
+//! [`Relation`]s and [`Catalog`] defined here.
+//!
+//! Graphs are stored exactly as the paper stores them (Section 4): a node
+//! relation `V(ID, vw)` and an edge relation `E(F, T, ew)` with `(F, T)` as
+//! the primary key, which double as the relation representations of the
+//! node vector and adjacency matrix.
+
+pub mod catalog;
+pub mod error;
+pub mod hash;
+pub mod index;
+pub mod relation;
+pub mod schema;
+pub mod value;
+pub mod wal;
+
+pub use catalog::{Catalog, TableEntry};
+pub use error::{Result, StorageError};
+pub use hash::{FxHashMap, FxHashSet};
+pub use index::{HashIndex, SortedIndex};
+pub use relation::{edge_schema, node_schema, Key, Relation, Row};
+pub use schema::{Column, DataType, Schema};
+pub use value::Value;
+pub use wal::{Wal, WalPolicy};

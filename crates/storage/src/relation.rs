@@ -1,0 +1,364 @@
+//! In-memory relations (bags of rows under a schema).
+//!
+//! The with+ execution model materializes a relation per operator, mirroring
+//! the paper's SQL/PSM translation where every step is an `INSERT INTO` a
+//! temporary table (Section 6, "The implementation"). `Relation` is therefore
+//! an owned, materialized row store rather than a streaming iterator.
+
+use crate::error::{Result, StorageError};
+use crate::hash::FxHashMap;
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+
+/// A stored row. Boxed slice: two words, no spare capacity.
+pub type Row = Box<[Value]>;
+
+/// Build a [`Row`] from anything convertible to [`Value`]s.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::value::Value::from($v)),*].into_boxed_slice()
+    };
+}
+
+/// A composite key extracted from a row (group-by keys, join keys,
+/// primary keys).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub Box<[Value]>);
+
+impl Key {
+    /// Extract the values of `cols` from `row`.
+    #[inline]
+    pub fn of(row: &[Value], cols: &[usize]) -> Key {
+        Key(cols.iter().map(|&c| row[c].clone()).collect())
+    }
+
+    /// True iff any component is NULL (such keys never join in SQL).
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+}
+
+/// A bag of rows with a schema and an optional primary key.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+    /// Column indexes forming the primary key, if declared.
+    pk: Option<Vec<usize>>,
+}
+
+impl Relation {
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+            pk: None,
+        }
+    }
+
+    /// Create with a declared primary key (by column reference).
+    ///
+    /// The paper declares `(F, T)` the primary key of `E` and `ID` of `V`
+    /// (Section 4); union-by-update relies on it for match uniqueness.
+    pub fn with_pk(schema: Schema, pk_cols: &[&str]) -> Result<Self> {
+        let pk = pk_cols
+            .iter()
+            .map(|c| schema.index_of(c))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Relation {
+            schema,
+            rows: Vec::new(),
+            pk: Some(pk),
+        })
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn pk(&self) -> Option<&[usize]> {
+        self.pk.as_deref()
+    }
+
+    /// Replace the primary-key declaration (used when re-deriving relations).
+    pub fn set_pk(&mut self, pk: Option<Vec<usize>>) {
+        self.pk = pk;
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Append one row, checking arity (primary keys are checked in bulk by
+    /// [`Relation::check_pk`] because per-insert checks would hide the cost
+    /// model of bulk `INSERT ... SELECT`).
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk append with arity checks.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<()> {
+        for r in rows {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Build a relation from a schema and literal rows (tests, loaders).
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        let mut r = Relation::new(schema);
+        r.extend(rows)?;
+        Ok(r)
+    }
+
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Verify the declared primary key is actually unique.
+    pub fn check_pk(&self) -> Result<()> {
+        let Some(pk) = &self.pk else { return Ok(()) };
+        let mut seen: FxHashMap<Key, ()> = FxHashMap::default();
+        seen.reserve(self.rows.len());
+        for row in &self.rows {
+            let k = Key::of(row, pk);
+            if seen.insert(k.clone(), ()).is_some() {
+                return Err(StorageError::DuplicateKey(format!("{k:?}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a unique-key → row-index map over `cols`.
+    ///
+    /// Errors with [`StorageError::DuplicateKey`] if two rows share a key;
+    /// this is exactly the condition under which the paper declares
+    /// union-by-update's answer non-unique ("we do not allow multiple s to
+    /// match a single r", Section 4.1).
+    pub fn unique_key_map(&self, cols: &[usize]) -> Result<FxHashMap<Key, usize>> {
+        let mut map: FxHashMap<Key, usize> = FxHashMap::default();
+        map.reserve(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            let k = Key::of(row, cols);
+            if map.insert(k.clone(), i).is_some() {
+                return Err(StorageError::DuplicateKey(format!("{k:?}")));
+            }
+        }
+        Ok(map)
+    }
+
+    /// Build a multi-map key → row indexes over `cols` (hash-join build side).
+    pub fn key_multimap(&self, cols: &[usize]) -> FxHashMap<Key, Vec<u32>> {
+        let mut map: FxHashMap<Key, Vec<u32>> = FxHashMap::default();
+        map.reserve(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            map.entry(Key::of(row, cols)).or_default().push(i as u32);
+        }
+        map
+    }
+
+    /// Sort rows in place by the given columns (storage total order).
+    pub fn sort_by_cols(&mut self, cols: &[usize]) {
+        self.rows.sort_unstable_by(|a, b| {
+            for &c in cols {
+                match a[c].cmp(&b[c]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    /// Remove exact duplicate rows (set semantics), preserving first
+    /// occurrence order.
+    pub fn dedup_rows(&mut self) {
+        let mut seen: FxHashMap<Row, ()> = FxHashMap::default();
+        seen.reserve(self.rows.len());
+        self.rows.retain(|r| seen.insert(r.clone(), ()).is_none());
+    }
+
+    /// Bag equality ignoring row order (for tests and fixpoint detection).
+    pub fn same_rows_unordered(&self, other: &Relation) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut counts: FxHashMap<&Row, i64> = FxHashMap::default();
+        for r in &self.rows {
+            *counts.entry(r).or_insert(0) += 1;
+        }
+        for r in &other.rows {
+            match counts.get_mut(r) {
+                Some(c) => *c -= 1,
+                None => return false,
+            }
+        }
+        counts.values().all(|&c| c == 0)
+    }
+
+    /// Render the first `limit` rows as an aligned text table (debugging,
+    /// examples).
+    pub fn display(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.full_name())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let shown: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .take(limit)
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &shown {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            out.push('\n');
+        };
+        line(&headers, &mut out);
+        for row in &shown {
+            line(row, &mut out);
+        }
+        if self.rows.len() > limit {
+            out.push_str(&format!("... ({} rows total)\n", self.rows.len()));
+        }
+        out
+    }
+}
+
+/// Convenience: the paper's canonical edge relation schema `E(F, T, ew)`.
+pub fn edge_schema() -> Schema {
+    Schema::of(&[
+        ("F", DataType::Int),
+        ("T", DataType::Int),
+        ("ew", DataType::Float),
+    ])
+}
+
+/// Convenience: the paper's canonical node relation schema `V(ID, vw)`.
+pub fn node_schema() -> Schema {
+    Schema::of(&[("ID", DataType::Int), ("vw", DataType::Float)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let mut r = Relation::with_pk(edge_schema(), &["F", "T"]).unwrap();
+        r.extend([row![1, 2, 1.0], row![2, 3, 1.0], row![1, 3, 0.5]])
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut r = Relation::new(node_schema());
+        assert!(r.push(row![1, 2.0]).is_ok());
+        assert!(matches!(
+            r.push(row![1]),
+            Err(StorageError::ArityMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn pk_uniqueness_check() {
+        let mut r = sample();
+        assert!(r.check_pk().is_ok());
+        r.push(row![1, 2, 9.0]).unwrap();
+        assert!(matches!(r.check_pk(), Err(StorageError::DuplicateKey(_))));
+    }
+
+    #[test]
+    fn unique_key_map_detects_duplicates() {
+        let r = sample();
+        let by_f = r.unique_key_map(&[0]);
+        assert!(by_f.is_err(), "F alone is not unique");
+        let by_ft = r.unique_key_map(&[0, 1]).unwrap();
+        assert_eq!(by_ft.len(), 3);
+    }
+
+    #[test]
+    fn multimap_groups() {
+        let r = sample();
+        let m = r.key_multimap(&[0]);
+        assert_eq!(m[&Key(vec![Value::Int(1)].into())].len(), 2);
+        assert_eq!(m[&Key(vec![Value::Int(2)].into())].len(), 1);
+    }
+
+    #[test]
+    fn sort_and_dedup() {
+        let mut r = Relation::new(node_schema());
+        r.extend([row![3, 1.0], row![1, 1.0], row![3, 1.0], row![2, 5.0]])
+            .unwrap();
+        r.dedup_rows();
+        assert_eq!(r.len(), 3);
+        r.sort_by_cols(&[0]);
+        let ids: Vec<i64> = r.iter().map(|x| x[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unordered_equality() {
+        let mut a = Relation::new(node_schema());
+        a.extend([row![1, 1.0], row![2, 2.0], row![1, 1.0]]).unwrap();
+        let mut b = Relation::new(node_schema());
+        b.extend([row![2, 2.0], row![1, 1.0], row![1, 1.0]]).unwrap();
+        assert!(a.same_rows_unordered(&b));
+        b.rows_mut().pop();
+        assert!(!a.same_rows_unordered(&b));
+    }
+
+    #[test]
+    fn null_keys_flagged() {
+        let k = Key(vec![Value::Int(1), Value::Null].into());
+        assert!(k.has_null());
+        let k = Key(vec![Value::Int(1)].into());
+        assert!(!k.has_null());
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let r = sample();
+        let s = r.display(2);
+        assert!(s.contains('F') && s.contains("ew"));
+        assert!(s.contains("(3 rows total)"));
+    }
+}

@@ -1,0 +1,200 @@
+//! The `Database` facade: the object a user of the library holds.
+//!
+//! Wraps a catalog + engine profile and executes SQL text — one-shot
+//! SELECTs and full with+ statements — through parse → validate/compile
+//! (Theorem 5.1) → PSM interpretation.
+
+use crate::compile::{compile, CompiledWithPlus};
+use crate::error::{Result, WithPlusError};
+use crate::lower::{lower_select, LowerCtx};
+use crate::parser::{Parser, Statement};
+use crate::psm::{PsmRunner, QueryResult, RunStats};
+use aio_algebra::ops::{AntiJoinImpl, UbuImpl};
+use aio_algebra::{EngineProfile, Evaluator};
+use aio_storage::{Catalog, Relation, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Apply the early-selection rewrite to every plan of a compiled
+/// statement.
+fn optimize_compiled(mut c: CompiledWithPlus) -> CompiledWithPlus {
+    let opt = |p: &aio_algebra::Plan| aio_algebra::push_selections(p);
+    for step in c.init.iter_mut().chain(c.recursive.iter_mut()) {
+        for (_, _, plan) in step.computed.iter_mut() {
+            *plan = opt(plan);
+        }
+        step.plan = opt(&step.plan);
+    }
+    c.final_plan = opt(&c.final_plan);
+    c
+}
+
+/// An embedded graph-capable relational database speaking with+.
+pub struct Database {
+    pub catalog: Catalog,
+    pub profile: EngineProfile,
+    /// Physical spelling of union-by-update (Tables 4 & 5). Default:
+    /// `full outer join`, the winner of Exp-1.
+    pub ubu_impl: UbuImpl,
+    /// Physical spelling of anti-join (Tables 6 & 7). Default:
+    /// `left outer join`, the paper's pick after Exp-1.
+    pub anti_impl: AntiJoinImpl,
+    /// Apply the early-selection rewrite (Ordonez \[41\]'s push-down) to every plan.
+    /// Off by default so the optimization can be measured in isolation.
+    pub optimize: bool,
+    params: HashMap<String, Value>,
+}
+
+impl Database {
+    pub fn new(profile: EngineProfile) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            profile,
+            ubu_impl: UbuImpl::FullOuterJoin,
+            anti_impl: AntiJoinImpl::LeftOuterNull,
+            optimize: false,
+            params: HashMap::new(),
+        }
+    }
+
+    /// Bind a named parameter referenced as `:name` in SQL.
+    pub fn set_param(&mut self, name: &str, value: impl Into<Value>) {
+        self.params.insert(name.to_string(), value.into());
+    }
+
+    pub fn clear_params(&mut self) {
+        self.params.clear();
+    }
+
+    /// Register a base table.
+    pub fn create_table(&mut self, name: &str, rel: Relation) -> Result<()> {
+        self.catalog.create_table(name, rel)?;
+        Ok(())
+    }
+
+    /// Parse, validate and compile a with+ statement without running it
+    /// (exposes the Theorem 5.1 DATALOG program for inspection).
+    pub fn prepare(&self, sql: &str) -> Result<CompiledWithPlus> {
+        match Parser::parse_statement(sql)? {
+            Statement::WithPlus(w) => {
+                let ctx = LowerCtx::new(&self.params, self.anti_impl);
+                compile(&w, &ctx)
+            }
+            Statement::Select(_) => Err(WithPlusError::Restriction(
+                "prepare expects a with+ statement".into(),
+            )),
+        }
+    }
+
+    /// Execute SQL text: either a with+ statement or a one-shot SELECT.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        match Parser::parse_statement(sql)? {
+            Statement::WithPlus(w) => {
+                let ctx = LowerCtx::new(&self.params, self.anti_impl);
+                let mut compiled = compile(&w, &ctx)?;
+                if self.optimize {
+                    compiled = optimize_compiled(compiled);
+                }
+                let mut runner = PsmRunner::new(&mut self.catalog, &self.profile, self.ubu_impl);
+                runner.run(&compiled)
+            }
+            Statement::Select(s) => {
+                let start = Instant::now();
+                let ctx = LowerCtx::new(&self.params, self.anti_impl);
+                let mut plan = lower_select(&s, &ctx)?;
+                if self.optimize {
+                    plan = aio_algebra::push_selections(&plan);
+                }
+                let mut ev = Evaluator::new(&self.catalog, &self.profile);
+                let relation = ev.eval(&plan)?;
+                let stats = RunStats {
+                    iterations: Vec::new(),
+                    exec: ev.stats,
+                    elapsed: start.elapsed(),
+                    wal_bytes: 0,
+                };
+                Ok(QueryResult { relation, stats })
+            }
+        }
+    }
+
+    /// Execute a pre-compiled with+ statement (benchmarks reuse this to
+    /// exclude parse/compile time from the measured loop).
+    pub fn run_compiled(&mut self, compiled: &CompiledWithPlus) -> Result<QueryResult> {
+        let mut runner = PsmRunner::new(&mut self.catalog, &self.profile, self.ubu_impl);
+        runner.run(compiled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aio_algebra::oracle_like;
+    use aio_storage::{edge_schema, row};
+
+    fn db_with_edges() -> Database {
+        let mut db = Database::new(oracle_like());
+        let mut e = Relation::new(edge_schema());
+        e.extend([row![1, 2, 1.0], row![2, 3, 1.0]]).unwrap();
+        db.create_table("E", e).unwrap();
+        db
+    }
+
+    #[test]
+    fn one_shot_select() {
+        let mut db = db_with_edges();
+        let out = db.execute("select E.F, E.T from E where E.F = 1").unwrap();
+        assert_eq!(out.relation.len(), 1);
+    }
+
+    #[test]
+    fn with_plus_end_to_end() {
+        let mut db = db_with_edges();
+        let out = db
+            .execute(
+                "with TC(F, T) as (\
+                   (select E.F, E.T from E)\
+                   union\
+                   (select TC.F, E.T from TC, E where TC.T = E.F))\
+                 select * from TC",
+            )
+            .unwrap();
+        assert_eq!(out.relation.len(), 3); // (1,2),(2,3),(1,3)
+    }
+
+    #[test]
+    fn params_flow_through() {
+        let mut db = db_with_edges();
+        db.set_param("w", 2.0);
+        let out = db.execute("select E.F, :w * E.ew from E").unwrap();
+        assert_eq!(out.relation.rows()[0][1].as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn prepare_exposes_datalog() {
+        let mut db = db_with_edges();
+        db.set_param("c", 0.85);
+        db.set_param("n", 2.0);
+        let c = db
+            .prepare(
+                "with P(ID, W) as (\
+                   (select E.F, 0.0 from E)\
+                   union by update ID\
+                   (select E.T, :c * sum(P.W * E.ew) + (1 - :c) / :n from P, E \
+                    where P.ID = E.F group by E.T)\
+                   maxrecursion 3)\
+                 select * from P",
+            )
+            .unwrap();
+        assert!(c.datalog.to_string().contains(":-"));
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        let mut db = db_with_edges();
+        assert!(matches!(
+            db.execute("selekt * from E"),
+            Err(WithPlusError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,630 @@
+//! The PSM interpreter: runs a [`CompiledWithPlus`] as the stored procedure
+//! of Algorithm 1 — create temp tables, loop materializing `computed by`
+//! relations and recursive subqueries, check the per-subquery emptiness
+//! conditions `C_i`, apply union / union-by-update, exit on fixpoint or
+//! `maxrecursion`, then run the final query.
+
+use crate::ast::UnionMode;
+use crate::compile::{CompiledStep, CompiledWithPlus};
+use crate::error::{Result, WithPlusError};
+use aio_algebra::ops::{self, UbuImpl};
+use aio_algebra::{EngineProfile, Evaluator, ExecStats, Plan};
+use aio_storage::{Catalog, Column, Relation, Schema};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Per-iteration record (drives Fig. 12/13: running time and number of
+/// tuples per iteration).
+#[derive(Clone, Debug)]
+pub struct IterStat {
+    /// |R| after this iteration.
+    pub r_rows: usize,
+    /// Tuples the recursive subqueries produced this iteration.
+    pub delta_rows: usize,
+    pub elapsed: Duration,
+}
+
+/// Whole-run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    pub iterations: Vec<IterStat>,
+    pub exec: ExecStats,
+    pub elapsed: Duration,
+    /// Bytes the simulated WAL encoded during the run.
+    pub wal_bytes: u64,
+}
+
+/// Result of executing a statement.
+#[derive(Debug)]
+pub struct QueryResult {
+    pub relation: Relation,
+    pub stats: RunStats,
+}
+
+/// Hard cap when no `maxrecursion` is given (SQL-Server's limit, which the
+/// paper adopts).
+const DEFAULT_MAX_RECURSION: usize = 32_767;
+
+/// Re-shape a query result to the declared column names of a temp table.
+fn rename_to(rel: Relation, names: &[String]) -> Result<Relation> {
+    if rel.schema().arity() != names.len() {
+        return Err(WithPlusError::Restriction(format!(
+            "result has {} columns, expected {} ({})",
+            rel.schema().arity(),
+            names.len(),
+            names.join(", ")
+        )));
+    }
+    let cols = names
+        .iter()
+        .zip(rel.schema().columns())
+        .map(|(n, c)| Column::new(n, c.ty))
+        .collect();
+    let schema = Schema::new(cols);
+    let mut out = Relation::new(schema);
+    *out.rows_mut() = rel.into_rows();
+    Ok(out)
+}
+
+/// Rewrite direct scans of `rec` to scan `replacement` instead, keeping the
+/// original name as the alias so qualified references still resolve.
+fn rebind_scan(plan: &Plan, rec: &str, replacement: &str) -> Plan {
+    let rebox = |p: &Plan| Box::new(rebind_scan(p, rec, replacement));
+    match plan {
+        Plan::Scan { table, alias } if table.eq_ignore_ascii_case(rec) => Plan::Scan {
+            table: replacement.to_string(),
+            alias: Some(alias.clone().unwrap_or_else(|| table.clone())),
+        },
+        Plan::Scan { .. } | Plan::Values(_) => plan.clone(),
+        Plan::Select { input, pred } => Plan::Select {
+            input: rebox(input),
+            pred: pred.clone(),
+        },
+        Plan::Project { input, items } => Plan::Project {
+            input: rebox(input),
+            items: items.clone(),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            items,
+        } => Plan::Aggregate {
+            input: rebox(input),
+            group_by: group_by.clone(),
+            items: items.clone(),
+        },
+        Plan::Window {
+            input,
+            partition_by,
+            items,
+        } => Plan::Window {
+            input: rebox(input),
+            partition_by: partition_by.clone(),
+            items: items.clone(),
+        },
+        Plan::Distinct(input) => Plan::Distinct(rebox(input)),
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+            kind,
+        } => Plan::Join {
+            left: rebox(left),
+            right: rebox(right),
+            on: on.clone(),
+            residual: residual.clone(),
+            kind: *kind,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: rebox(left),
+            right: rebox(right),
+        },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: rebox(left),
+            right: rebox(right),
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: rebox(left),
+            right: rebox(right),
+        },
+        Plan::Difference { left, right } => Plan::Difference {
+            left: rebox(left),
+            right: rebox(right),
+        },
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            imp,
+        } => Plan::AntiJoin {
+            left: rebox(left),
+            right: rebox(right),
+            on: on.clone(),
+            imp: *imp,
+        },
+        Plan::SemiJoin { left, right, on } => Plan::SemiJoin {
+            left: rebox(left),
+            right: rebox(right),
+            on: on.clone(),
+        },
+    }
+}
+
+/// The runtime for one with+ execution.
+pub struct PsmRunner<'a> {
+    pub catalog: &'a mut Catalog,
+    pub profile: &'a EngineProfile,
+    pub ubu_impl: UbuImpl,
+    /// temp tables created by this run (dropped afterwards)
+    created: Vec<String>,
+    index_specs: HashMap<String, Vec<String>>,
+    stats: RunStats,
+}
+
+impl<'a> PsmRunner<'a> {
+    pub fn new(
+        catalog: &'a mut Catalog,
+        profile: &'a EngineProfile,
+        ubu_impl: UbuImpl,
+    ) -> Self {
+        PsmRunner {
+            catalog,
+            profile,
+            ubu_impl,
+            created: Vec::new(),
+            index_specs: HashMap::new(),
+            stats: RunStats::default(),
+        }
+    }
+
+    fn eval(&mut self, plan: &Plan) -> Result<Relation> {
+        let mut ev = Evaluator::new(self.catalog, self.profile);
+        let rel = ev.eval(plan)?;
+        self.stats.exec.absorb(&ev.stats);
+        Ok(rel)
+    }
+
+    /// `CREATE TEMP TABLE name` + `INSERT INTO name SELECT …` with WAL and
+    /// index maintenance — the per-step cost of the PSM translation.
+    fn materialize(&mut self, name: &str, rel: Relation) -> Result<()> {
+        self.catalog.wal.log_insert(self.profile.wal_temp, rel.rows());
+        if !self.catalog.contains(name) {
+            self.created.push(name.to_string());
+        }
+        self.catalog.create_or_replace(name, rel, true);
+        self.build_indexes(name)?;
+        Ok(())
+    }
+
+    fn build_indexes(&mut self, name: &str) -> Result<()> {
+        if !self.profile.build_indexes {
+            return Ok(());
+        }
+        let Some(cols) = self.index_specs.get(&name.to_ascii_lowercase()) else {
+            return Ok(());
+        };
+        let col_idx: Vec<usize> = {
+            let rel = self.catalog.relation(name)?;
+            cols.iter()
+                .filter_map(|c| rel.schema().index_of(c).ok())
+                .collect()
+        };
+        for c in col_idx {
+            self.catalog.build_index(name, &[c])?;
+        }
+        Ok(())
+    }
+
+    fn run_step_computed(&mut self, step: &CompiledStep) -> Result<()> {
+        for (name, cols, plan) in &step.computed {
+            let rel = self.eval(plan)?;
+            let rel = rename_to(rel, cols)?;
+            self.materialize(name, rel)?;
+        }
+        Ok(())
+    }
+
+    /// Execute a compiled with+ statement to completion.
+    pub fn run(&mut self, c: &CompiledWithPlus) -> Result<QueryResult> {
+        let start = Instant::now();
+        let wal_before = self.catalog.wal.bytes_written();
+        if self.catalog.contains(&c.rec_name) {
+            return Err(WithPlusError::Restriction(format!(
+                "recursive relation {} collides with an existing table",
+                c.rec_name
+            )));
+        }
+        for (t, col) in &c.index_specs {
+            self.index_specs
+                .entry(t.clone())
+                .or_default()
+                .push(col.clone());
+        }
+        // The working table of semi-naive evaluation inherits the recursive
+        // relation's index specs.
+        if let Some(rec_specs) = self.index_specs.get(&c.rec_name.to_ascii_lowercase()) {
+            self.index_specs
+                .insert(format!("__delta_{}", c.rec_name.to_ascii_lowercase()), rec_specs.clone());
+        }
+        // Base tables referenced by join keys get their indexes up front
+        // (a real schema would already have them; the paper's PSM builds
+        // indexes on the temp tables, Exp-A).
+        if self.profile.build_indexes {
+            let tables: Vec<String> = self.index_specs.keys().cloned().collect();
+            for t in tables {
+                if self.catalog.contains(&t) {
+                    self.build_indexes(&t)?;
+                }
+            }
+        }
+
+        let result = self.run_inner(c, start);
+
+        // drop every temp table this run created, even on error
+        for t in std::mem::take(&mut self.created) {
+            let _ = self.catalog.drop_table(&t);
+        }
+        self.stats.elapsed = start.elapsed();
+        self.stats.wal_bytes = self.catalog.wal.bytes_written() - wal_before;
+        let relation = result?;
+        Ok(QueryResult {
+            relation,
+            stats: std::mem::take(&mut self.stats),
+        })
+    }
+
+    fn run_inner(&mut self, c: &CompiledWithPlus, _start: Instant) -> Result<Relation> {
+        // --- initialization ------------------------------------------------
+        let mut init_rel: Option<Relation> = None;
+        for step in &c.init {
+            self.run_step_computed(step)?;
+            let rel = self.eval(&step.plan)?;
+            let rel = rename_to(rel, &c.rec_cols)?;
+            init_rel = Some(match init_rel {
+                None => rel,
+                Some(acc) => ops::union_all(&acc, &rel)?,
+            });
+        }
+        let mut r0 = init_rel.expect("validated: at least one initial subquery");
+        // union-by-update keys double as the primary key of R
+        if let UnionMode::ByUpdate(Some(keys)) = &c.union {
+            let pk: Vec<usize> = keys
+                .iter()
+                .map(|k| r0.schema().index_of(k).map_err(WithPlusError::from))
+                .collect::<Result<_>>()?;
+            r0.set_pk(Some(pk));
+        }
+        self.materialize(&c.rec_name, r0)?;
+
+        // resolve union-by-update key positions once
+        let ubu_keys: Option<Vec<usize>> = match &c.union {
+            UnionMode::ByUpdate(Some(keys)) => Some(
+                keys.iter()
+                    .map(|k| {
+                        self.catalog
+                            .relation(&c.rec_name)?
+                            .schema()
+                            .index_of(k)
+                            .map_err(WithPlusError::from)
+                    })
+                    .collect::<Result<_>>()?,
+            ),
+            _ => None,
+        };
+
+        // --- the loop ------------------------------------------------------
+        // For `union all` / `union`, the recursive self-reference binds to
+        // the previous iteration's *working table* (SQL'99 / PostgreSQL
+        // semi-naive semantics); `computed by` relations and union-by-update
+        // queries read the full accumulated R. The working table starts as
+        // the initialization result.
+        let working_name = format!("__delta_{}", c.rec_name);
+        let seminaive = matches!(c.union, UnionMode::All | UnionMode::Distinct);
+        if seminaive {
+            let w = self.catalog.relation(&c.rec_name)?.clone();
+            self.materialize(&working_name, w)?;
+        }
+        let rec_steps: Vec<CompiledStep> = if seminaive {
+            c.recursive
+                .iter()
+                .map(|s| CompiledStep {
+                    computed: s.computed.clone(),
+                    plan: rebind_scan(&s.plan, &c.rec_name, &working_name),
+                })
+                .collect()
+        } else {
+            c.recursive.clone()
+        };
+
+        let max = c.max_recursion.unwrap_or(DEFAULT_MAX_RECURSION);
+        for _it in 0..max {
+            let it_start = Instant::now();
+            let mut delta_total = 0usize;
+            let mut changed = false;
+            let mut next_working: Option<Relation> = None;
+
+            for step in &rec_steps {
+                self.run_step_computed(step)?;
+                let delta = self.eval(&step.plan)?;
+                let delta = rename_to(delta, &c.rec_cols)?;
+                delta_total += delta.len();
+
+                match &c.union {
+                    UnionMode::All => {
+                        if !delta.is_empty() {
+                            changed = true;
+                            self.catalog.insert_rows(
+                                &c.rec_name,
+                                delta.rows().to_vec(),
+                                self.profile.wal_temp,
+                            )?;
+                        }
+                        next_working = Some(match next_working {
+                            None => delta,
+                            Some(acc) => ops::union_all(&acc, &delta)?,
+                        });
+                    }
+                    UnionMode::Distinct => {
+                        let r = self.catalog.relation(&c.rec_name)?;
+                        let fresh = ops::difference(&delta, r)?;
+                        if !fresh.is_empty() {
+                            changed = true;
+                            self.catalog.insert_rows(
+                                &c.rec_name,
+                                fresh.rows().to_vec(),
+                                self.profile.wal_temp,
+                            )?;
+                        }
+                        next_working = Some(match next_working {
+                            None => fresh,
+                            Some(acc) => ops::union_distinct(&acc, &fresh)?,
+                        });
+                    }
+                    UnionMode::ByUpdate(_) => {
+                        let before = self.catalog.relation(&c.rec_name)?.clone();
+                        ops::union_by_update(
+                            self.catalog,
+                            &c.rec_name,
+                            delta,
+                            ubu_keys.as_deref(),
+                            self.ubu_impl,
+                            self.profile,
+                            &mut self.stats.exec,
+                        )?;
+                        let after = self.catalog.relation(&c.rec_name)?;
+                        if !after.same_rows_unordered(&before) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            if seminaive {
+                let w = next_working
+                    .unwrap_or_else(|| Relation::new(self.catalog.relation(&c.rec_name).unwrap().schema().clone()));
+                self.materialize(&working_name, w)?;
+            }
+            if changed {
+                // inserts invalidated R's indexes; rebuild for the next scan
+                self.build_indexes(&c.rec_name)?;
+            }
+            self.stats.iterations.push(IterStat {
+                r_rows: self.catalog.relation(&c.rec_name)?.len(),
+                delta_rows: delta_total,
+                elapsed: it_start.elapsed(),
+            });
+            if !changed {
+                break; // every C_i is false / fixpoint reached
+            }
+        }
+
+        // --- final query ----------------------------------------------------
+        self.eval(&c.final_plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::lower::LowerCtx;
+    use crate::parser::{Parser, Statement};
+    use aio_algebra::ops::AntiJoinImpl;
+    use aio_algebra::{oracle_like, postgres_like};
+    use aio_storage::{edge_schema, node_schema, row, Value};
+
+    /// 4-node graph: 1→2→3→4, 1→3.
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut e = Relation::new(edge_schema());
+        e.extend([
+            row![1, 2, 1.0],
+            row![2, 3, 1.0],
+            row![3, 4, 1.0],
+            row![1, 3, 1.0],
+        ])
+        .unwrap();
+        cat.create_table("E", e).unwrap();
+        let mut v = Relation::new(node_schema());
+        v.extend([row![1, 0.0], row![2, 0.0], row![3, 0.0], row![4, 0.0]])
+            .unwrap();
+        cat.create_table("V", v).unwrap();
+        cat
+    }
+
+    fn run_sql(sql: &str, params: &[(&str, Value)]) -> QueryResult {
+        let Statement::WithPlus(w) = Parser::parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let map: HashMap<String, Value> = params
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        let ctx = LowerCtx::new(&map, AntiJoinImpl::LeftOuterNull);
+        let c = compile(&w, &ctx).unwrap();
+        let mut cat = catalog();
+        let profile = oracle_like();
+        let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+        runner.run(&c).unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_fig1() {
+        // Fig. 1 as with+ (union with dedup so cycles would terminate too)
+        let sql = "\
+with TC(F, T) as (
+  (select E.F, E.T from E)
+  union
+  (select TC.F, E.T from TC, E where TC.T = E.F))
+select * from TC";
+        let out = run_sql(sql, &[]);
+        // closure of 1→2→3→4, 1→3: pairs from 1: {2,3,4}, from 2: {3,4},
+        // from 3: {4} → 6 pairs
+        assert_eq!(out.relation.len(), 6);
+        assert!(out.stats.iterations.len() >= 2);
+    }
+
+    #[test]
+    fn union_all_terminates_on_dag_by_emptiness() {
+        let sql = "\
+with R(F, T) as (
+  (select E.F, E.T from E)
+  union all
+  (select R.F, E.T from R, E where R.T = E.F))
+select * from R";
+        let out = run_sql(sql, &[]);
+        // semi-naive over the working table: base 4 edges + 3 two-hop
+        // paths + 1 three-hop path = 8 rows ((1,3) appears twice: as an
+        // edge and as the path 1→2→3 — union all keeps duplicates)
+        assert_eq!(out.relation.len(), 8);
+        let last = out.stats.iterations.last().unwrap();
+        assert_eq!(last.delta_rows, 0, "terminated because delta drained");
+    }
+
+    #[test]
+    fn bfs_by_union_by_update() {
+        // Eq. (5): visited flag flooding from node 1 over Eᵀ
+        let sql = "\
+with B(ID, vw) as (
+  (select V.ID, least(1.0, greatest(V.vw, 0.0)) from V)
+  union by update ID
+  (select E.T, max(B.vw * E.ew) from B, E where B.ID = E.F group by E.T))
+select * from B";
+        // seed: node 1 visited
+        let Statement::WithPlus(w) = Parser::parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let params = HashMap::new();
+        let ctx = LowerCtx::new(&params, AntiJoinImpl::LeftOuterNull);
+        let c = compile(&w, &ctx).unwrap();
+        let mut cat = catalog();
+        cat.relation_mut("V").unwrap().rows_mut()[0] = row![1, 1.0];
+        let profile = oracle_like();
+        let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+        let out = runner.run(&c).unwrap();
+        let visited: Vec<i64> = out
+            .relation
+            .iter()
+            .filter(|r| r[1].as_f64() == Some(1.0))
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        let mut v = visited.clone();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fixpoint_detected_without_maxrecursion() {
+        let sql = "\
+with W(ID, vw) as (
+  (select V.ID, 1.0 * V.ID from V)
+  union by update ID
+  (select E.T, min(W.vw * E.ew) from W, E where W.ID = E.F group by E.T))
+select * from W";
+        let out = run_sql(sql, &[]);
+        // labels flood forward; converges in ≤ diameter+1 iterations
+        assert!(out.stats.iterations.len() <= 5);
+        let last = out.stats.iterations.last().unwrap();
+        assert!(last.r_rows == 4);
+    }
+
+    #[test]
+    fn maxrecursion_caps_iterations() {
+        let sql = "\
+with P(ID, W) as (
+  (select V.ID, 1.0 from V)
+  union by update ID
+  (select P.ID, P.W + 1.0 from P)
+  maxrecursion 7)
+select * from P";
+        let out = run_sql(sql, &[]);
+        assert_eq!(out.stats.iterations.len(), 7);
+    }
+
+    #[test]
+    fn temp_tables_are_dropped_after_run() {
+        let sql = "\
+with R(F, T) as (
+  (select E.F, E.T from E)
+  union
+  (select R.F, E.T from R, E where R.T = E.F))
+select * from R";
+        let Statement::WithPlus(w) = Parser::parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let params = HashMap::new();
+        let ctx = LowerCtx::new(&params, AntiJoinImpl::LeftOuterNull);
+        let c = compile(&w, &ctx).unwrap();
+        let mut cat = catalog();
+        let profile = oracle_like();
+        let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+        runner.run(&c).unwrap();
+        assert!(!cat.contains("R"));
+        assert!(cat.contains("E") && cat.contains("V"));
+    }
+
+    #[test]
+    fn rec_name_collision_rejected() {
+        let sql = "\
+with E(F, T) as (
+  (select E.F, E.T from V)
+  union all
+  (select E.F, E.T from E))
+select * from E";
+        let Statement::WithPlus(w) = Parser::parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let params = HashMap::new();
+        let ctx = LowerCtx::new(&params, AntiJoinImpl::LeftOuterNull);
+        // compile may pass; the runner rejects the collision
+        if let Ok(c) = compile(&w, &ctx) {
+            let mut cat = catalog();
+            let profile = oracle_like();
+            let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+            assert!(runner.run(&c).is_err());
+        }
+    }
+
+    #[test]
+    fn postgres_profile_builds_indexes_during_run() {
+        let sql = "\
+with R(F, T) as (
+  (select E.F, E.T from E)
+  union
+  (select R.F, E.T from R, E where R.T = E.F))
+select * from R";
+        let Statement::WithPlus(w) = Parser::parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let params = HashMap::new();
+        let ctx = LowerCtx::new(&params, AntiJoinImpl::LeftOuterNull);
+        let c = compile(&w, &ctx).unwrap();
+        let mut cat = catalog();
+        let profile = postgres_like(true);
+        let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+        let out = runner.run(&c).unwrap();
+        assert_eq!(out.relation.len(), 6);
+        assert!(out.stats.exec.index_scans > 0, "merge join used the index");
+    }
+}

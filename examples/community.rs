@@ -1,0 +1,72 @@
+//! Community structure in one session: weakly connected components,
+//! label propagation, k-core and a maximal independent set — all four as
+//! recursive SQL over the same YouTube stand-in, the way the paper's
+//! introduction motivates running *pipelines* of graph algorithms inside
+//! one RDBMS.
+//!
+//! ```sh
+//! cargo run --release --example community
+//! ```
+
+use all_in_one::algos;
+use all_in_one::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let spec = DatasetSpec::by_key("YT").unwrap();
+    let g = spec.synthesize(0.0005);
+    println!(
+        "YouTube stand-in: {} nodes, {} stored edges (symmetrized)\n",
+        g.node_count(),
+        g.edge_count()
+    );
+    let profile = oracle_like();
+
+    // --- components -----------------------------------------------------
+    let (labels, run) = algos::wcc::run(&g, &profile).unwrap();
+    let mut sizes: HashMap<i64, usize> = HashMap::new();
+    for &l in labels.values() {
+        *sizes.entry(l).or_insert(0) += 1;
+    }
+    let mut by_size: Vec<(i64, usize)> = sizes.into_iter().collect();
+    by_size.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    println!(
+        "WCC: {} components in {} iterations; largest: {:?}",
+        by_size.len(),
+        run.stats.iterations.len(),
+        &by_size[..by_size.len().min(3)]
+    );
+
+    // --- label propagation ------------------------------------------------
+    let (lp, run) = algos::lp::run(&g, &profile, 15).unwrap();
+    let mut freq: HashMap<i64, usize> = HashMap::new();
+    for &l in lp.values() {
+        *freq.entry(l).or_insert(0) += 1;
+    }
+    println!(
+        "LP (15 iters, {} engine iterations): label histogram {:?}",
+        run.stats.iterations.len(),
+        {
+            let mut v: Vec<_> = freq.into_iter().collect();
+            v.sort();
+            v
+        }
+    );
+
+    // --- k-core ----------------------------------------------------------
+    let k = spec.kcore_k();
+    let (core, run) = algos::kcore::run(&g, &profile, k).unwrap();
+    println!(
+        "{k}-core: {} nodes survive the peeling ({} rounds)",
+        core.len(),
+        run.stats.iterations.len()
+    );
+
+    // --- maximal independent set -----------------------------------------
+    let (mis, run) = algos::mis::run(&g, &profile, 42).unwrap();
+    println!(
+        "MIS: {} nodes selected in {} rounds (paper: 4–6 typical)",
+        mis.len(),
+        run.stats.iterations.len()
+    );
+}

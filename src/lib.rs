@@ -1,0 +1,1 @@
+pub use aio_core::*;

@@ -1,0 +1,154 @@
+//! Property-based parser tests: randomly generated expressions and
+//! SELECTs survive print → parse → print (idempotent fixpoint), and the
+//! lexer never panics on arbitrary input.
+
+use all_in_one::withplus::ast::{Expr, FromItem, SelectItem, SelectStmt};
+use all_in_one::withplus::{Parser, Statement};
+use all_in_one::algebra::{AggFunc, BinOp, UnaryOp};
+use all_in_one::storage::Value;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        (0.0f64..100.0).prop_map(Value::Float),
+        "[a-z]{1,6}".prop_map(Value::text),
+    ]
+}
+
+fn arb_col() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,5}",
+        ("[A-Z][a-z]{0,3}", "[a-z]{1,4}").prop_map(|(q, c)| format!("{q}.{c}")),
+    ]
+    .prop_filter("not a keyword", |s| {
+        let bare = s.rsplit('.').next().unwrap();
+        ![
+            "select", "from", "where", "group", "by", "union", "all", "update", "not", "in",
+            "exists", "is", "null", "and", "or", "as", "with", "on", "join", "left", "full",
+            "outer", "inner", "distinct", "over", "partition", "computed", "maxrecursion",
+            "recursive", "when",
+        ]
+        .contains(&bare)
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Lit),
+        arb_col().prop_map(Expr::Col),
+        "[a-z]{1,5}".prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            (
+                prop_oneof![Just(UnaryOp::Neg), Just(UnaryOp::IsNull), Just(UnaryOp::IsNotNull)],
+                inner.clone()
+            )
+                .prop_map(|(op, x)| Expr::Unary(op, Box::new(x))),
+            (
+                prop_oneof![
+                    Just(AggFunc::Sum),
+                    Just(AggFunc::Min),
+                    Just(AggFunc::Max),
+                    Just(AggFunc::Count)
+                ],
+                inner.clone()
+            )
+                .prop_map(|(f, x)| Expr::Agg {
+                    func: f,
+                    arg: Box::new(x),
+                    over_partition_by: None
+                }),
+            inner
+                .clone()
+                .prop_map(|x| Expr::Func("coalesce".into(), vec![x, Expr::Lit(Value::Int(0))])),
+            inner.prop_map(|x| Expr::Func("sqrt".into(), vec![x])),
+        ]
+    })
+}
+
+fn arb_select() -> impl Strategy<Value = SelectStmt> {
+    (
+        proptest::collection::vec(arb_expr(), 1..4),
+        proptest::collection::vec(arb_col(), 1..3),
+        proptest::option::of(arb_expr()),
+        any::<bool>(),
+    )
+        .prop_map(|(items, tables, where_clause, distinct)| SelectStmt {
+            distinct,
+            items: items
+                .into_iter()
+                .map(|expr| SelectItem { expr, alias: None })
+                .collect(),
+            from: tables
+                .into_iter()
+                .map(|t| FromItem::Table {
+                    name: t.rsplit('.').next().unwrap().to_string(),
+                    alias: None,
+                })
+                .collect(),
+            where_clause,
+            group_by: vec![],
+            having: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse → print reaches a fixpoint in one step.
+    #[test]
+    fn printed_selects_reparse_to_same_ast(s in arb_select()) {
+        let printed = s.to_string();
+        match Parser::parse_statement(&printed) {
+            Ok(Statement::Select(s2)) => {
+                let printed2 = s2.to_string();
+                let s3 = match Parser::parse_statement(&printed2) {
+                    Ok(Statement::Select(x)) => x,
+                    other => return Err(TestCaseError::fail(format!("{other:?}"))),
+                };
+                prop_assert_eq!(s2, s3, "not a fixpoint:\n{}", printed2);
+            }
+            Ok(other) => return Err(TestCaseError::fail(format!("parsed as {other:?}"))),
+            Err(e) => return Err(TestCaseError::fail(format!("{e}\n--- printed ---\n{printed}"))),
+        }
+    }
+
+    /// The lexer/parser never panics on arbitrary garbage.
+    #[test]
+    fn parser_total_on_garbage(input in ".{0,120}") {
+        let _ = Parser::parse_statement(&input);
+    }
+
+    /// …nor on arbitrary token-ish soup.
+    #[test]
+    fn parser_total_on_token_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("select".to_string()), Just("from".to_string()),
+            Just("where".to_string()), Just("union".to_string()),
+            Just("by".to_string()), Just("update".to_string()),
+            Just("(".to_string()), Just(")".to_string()),
+            Just(",".to_string()), Just("*".to_string()),
+            "[a-z]{1,4}", "[0-9]{1,3}"
+        ], 0..40))
+    {
+        let _ = Parser::parse_statement(&words.join(" "));
+    }
+}
