@@ -1,0 +1,7 @@
+#!/bin/sh
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -119,6 +119,57 @@ impl Accumulator {
         }
     }
 
+    /// Combine a partial aggregate into this one, as if `other`'s inputs had
+    /// been folded after this accumulator's own. Used by morsel-parallel
+    /// group-by to merge thread-local partials; merging partials in morsel
+    /// order reproduces the serial fold exactly (modulo float addition
+    /// grouping for `sum`/`avg`, which is still deterministic for a fixed
+    /// morsel split).
+    pub fn merge(&mut self, other: Accumulator) {
+        debug_assert_eq!(self.func, other.func);
+        match other.state {
+            State::Empty => {}
+            s if matches!(self.state, State::Empty) => self.state = s,
+            State::Count(c) => {
+                if let State::Count(a) = self.state {
+                    self.state = State::Count(a + c);
+                }
+            }
+            State::Int(i) => {
+                self.state = match self.state {
+                    State::Int(a) => State::Int(a.wrapping_add(i)),
+                    State::Float(a) => State::Float(a + i as f64),
+                    ref s => s.clone(),
+                };
+            }
+            State::Float(f) => {
+                self.state = match self.state {
+                    State::Int(a) => State::Float(a as f64 + f),
+                    State::Float(a) => State::Float(a + f),
+                    ref s => s.clone(),
+                };
+            }
+            State::Avg(s, c) => {
+                if let State::Avg(a, n) = self.state {
+                    self.state = State::Avg(a + s, n + c);
+                }
+            }
+            State::Val(v) => {
+                // same keep-cur rule as a single update() with v
+                if let State::Val(ref cur) = self.state {
+                    let keep_cur = match cur.sql_cmp(&v) {
+                        Some(std::cmp::Ordering::Less) => self.func == AggFunc::Min,
+                        Some(std::cmp::Ordering::Greater) => self.func == AggFunc::Max,
+                        _ => true,
+                    };
+                    if !keep_cur {
+                        self.state = State::Val(v);
+                    }
+                }
+            }
+        }
+    }
+
     /// The aggregate result. Empty groups: `count` is 0, the rest NULL
     /// (SQL semantics).
     pub fn finish(self) -> Value {
@@ -196,6 +247,54 @@ mod tests {
             run(AggFunc::Avg, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
             Value::Float(2.0)
         );
+    }
+
+    #[test]
+    fn merge_matches_serial_fold_at_every_split() {
+        let vals = [
+            Value::Int(3),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Int(-2),
+            Value::Int(7),
+        ];
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            let serial = run(f, &vals);
+            for split in 0..=vals.len() {
+                let mut a = f.accumulator();
+                for v in &vals[..split] {
+                    a.update(v);
+                }
+                let mut b = f.accumulator();
+                for v in &vals[split..] {
+                    b.update(v);
+                }
+                a.merge(b);
+                assert_eq!(a.finish(), serial, "{f} split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_empty_partials_is_identity() {
+        for f in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Avg] {
+            let mut a = f.accumulator();
+            a.update(&Value::Int(5));
+            let before = a.clone().finish();
+            a.merge(f.accumulator());
+            assert_eq!(a.finish(), before);
+            let mut e = f.accumulator();
+            let mut full = f.accumulator();
+            full.update(&Value::Int(5));
+            e.merge(full);
+            assert_eq!(e.finish(), before);
+        }
     }
 
     #[test]

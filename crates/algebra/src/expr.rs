@@ -128,6 +128,21 @@ impl ScalarExpr {
         Self::binary(BinOp::And, l, r)
     }
 
+    /// Whether evaluating this expression twice on the same row yields the
+    /// same value. `random()` draws from a thread-local stream, so any
+    /// expression containing it must stay on one thread in a fixed row
+    /// order — morsel-parallel operators check this before fanning out.
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            ScalarExpr::Func(Func::Random, _) => false,
+            ScalarExpr::Func(_, args) => args.iter().all(ScalarExpr::is_deterministic),
+            ScalarExpr::Unary(_, x) => x.is_deterministic(),
+            ScalarExpr::Binary(_, l, r) => l.is_deterministic() && r.is_deterministic(),
+            ScalarExpr::Agg(_, x) => x.is_deterministic(),
+            ScalarExpr::Col(_) | ScalarExpr::BoundCol(_) | ScalarExpr::Lit(_) | ScalarExpr::AggRef(_) => true,
+        }
+    }
+
     /// Bind every [`ScalarExpr::Col`] against `schema`, producing an
     /// index-based expression ready for evaluation.
     pub fn bind(&self, schema: &Schema) -> Result<ScalarExpr> {

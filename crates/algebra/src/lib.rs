@@ -19,6 +19,7 @@ pub mod error;
 pub mod expr;
 pub mod ops;
 pub mod optimize;
+pub mod par;
 pub mod plan;
 pub mod profile;
 pub mod semiring;

@@ -15,10 +15,10 @@
 
 use crate::error::Result;
 use crate::ops::basic;
-use crate::ops::join::{join, JoinKeys, JoinOrders, JoinType};
+use crate::ops::join::{join_par, JoinKeys, JoinOrders, JoinType};
 use crate::profile::JoinStrategy;
 use crate::stats::ExecStats;
-use aio_storage::{FxHashSet, Key, Relation};
+use aio_storage::{key_has_null, KeyIndex, Relation};
 
 /// The SQL spelling used for an anti-join.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,8 +47,19 @@ impl AntiJoinImpl {
     }
 }
 
+/// Build side of the spelled anti-joins: hash-disjoint partitions when the
+/// probe will fan out, so the build parallelizes too.
+fn build_index(right: &Relation, cols: &[usize], par: usize) -> KeyIndex {
+    let parts = if par > 1 && right.len() >= crate::par::MIN_PARALLEL_ROWS {
+        par
+    } else {
+        1
+    };
+    KeyIndex::build_partitioned(right, cols, parts)
+}
+
 /// `R ⊼ S`: rows of `left` with no `keys`-match in `right`, computed by the
-/// chosen SQL spelling. The output schema is `left`'s.
+/// chosen SQL spelling. The output schema is `left`'s. Serial (`par = 1`).
 pub fn anti_join(
     left: &Relation,
     right: &Relation,
@@ -57,26 +68,45 @@ pub fn anti_join(
     strategy: JoinStrategy,
     stats: &mut ExecStats,
 ) -> Result<Relation> {
+    anti_join_par(left, right, keys, imp, strategy, 1, stats)
+}
+
+/// [`anti_join`] with an explicit worker-thread count. The probe over the
+/// left side runs in morsels (buffers concatenated in morsel order, so the
+/// output is identical at any `par`); probes are allocation-free via
+/// [`KeyIndex`].
+#[allow(clippy::too_many_arguments)]
+pub fn anti_join_par(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    imp: AntiJoinImpl,
+    strategy: JoinStrategy,
+    par: usize,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
     stats.anti_joins += 1;
     match imp {
         AntiJoinImpl::NotExists => {
             stats.rows_scanned += (left.len() + right.len()) as u64;
-            let mut set: FxHashSet<Key> = FxHashSet::default();
-            set.reserve(right.len());
-            for row in right.iter() {
-                let k = Key::of(row, &keys.right);
-                if !k.has_null() {
-                    set.insert(k);
+            let idx = build_index(right, &keys.right, par);
+            let (bufs, info) = crate::par::run_morsels(left.len(), par, |range| {
+                let mut rows = Vec::new();
+                for row in &left.rows()[range] {
+                    // NULL probe: the correlated equality is unknown, the
+                    // subquery returns nothing, NOT EXISTS is true → keep.
+                    if key_has_null(row, &keys.left)
+                        || !idx.contains(right, row, &keys.left)
+                    {
+                        rows.push(row.clone());
+                    }
                 }
-            }
+                Ok(rows)
+            })?;
+            stats.note_parallel(&info);
             let mut out = Relation::new(left.schema().clone());
-            for row in left.iter() {
-                let k = Key::of(row, &keys.left);
-                // NULL probe: the correlated equality is unknown, the
-                // subquery returns nothing, NOT EXISTS is true → keep.
-                if k.has_null() || !set.contains(&k) {
-                    out.push(row.clone())?;
-                }
+            for rows in bufs {
+                out.rows_mut().extend(rows);
             }
             stats.rows_produced += out.len() as u64;
             Ok(out)
@@ -84,7 +114,7 @@ pub fn anti_join(
         AntiJoinImpl::LeftOuterNull => {
             // Literally run the outer join, then filter and project — this
             // pays the cost the SQL pays.
-            let joined = join(
+            let joined = join_par(
                 left,
                 right,
                 keys,
@@ -92,6 +122,7 @@ pub fn anti_join(
                 JoinType::Left,
                 strategy,
                 JoinOrders::default(),
+                par,
                 stats,
             )?;
             let probe_col = left.schema().arity() + keys.right.first().copied().unwrap_or(0);
@@ -109,33 +140,32 @@ pub fn anti_join(
         }
         AntiJoinImpl::NotIn => {
             stats.rows_scanned += (left.len() + right.len()) as u64;
-            let mut set: FxHashSet<Key> = FxHashSet::default();
-            set.reserve(right.len());
-            let mut inner_has_null = false;
-            for row in right.iter() {
-                let k = Key::of(row, &keys.right);
-                if k.has_null() {
-                    inner_has_null = true;
-                } else {
-                    set.insert(k);
-                }
-            }
-            let mut out = Relation::new(left.schema().clone());
+            let idx = build_index(right, &keys.right, par);
+            // a single NULL on the inner side empties the result (NAAJ)
+            let inner_has_null = idx.had_null_keys();
             let inner_empty = right.is_empty();
-            for row in left.iter() {
-                let k = Key::of(row, &keys.left);
-                // NOT IN over an empty list is vacuously true.
-                let keep = if inner_empty {
-                    true
-                } else if k.has_null() || inner_has_null {
-                    // unknown (never true) under 3VL
-                    false
-                } else {
-                    !set.contains(&k)
-                };
-                if keep {
-                    out.push(row.clone())?;
+            let (bufs, info) = crate::par::run_morsels(left.len(), par, |range| {
+                let mut rows = Vec::new();
+                for row in &left.rows()[range] {
+                    // NOT IN over an empty list is vacuously true.
+                    let keep = if inner_empty {
+                        true
+                    } else if key_has_null(row, &keys.left) || inner_has_null {
+                        // unknown (never true) under 3VL
+                        false
+                    } else {
+                        !idx.contains(right, row, &keys.left)
+                    };
+                    if keep {
+                        rows.push(row.clone());
+                    }
                 }
+                Ok(rows)
+            })?;
+            stats.note_parallel(&info);
+            let mut out = Relation::new(left.schema().clone());
+            for rows in bufs {
+                out.rows_mut().extend(rows);
             }
             stats.rows_produced += out.len() as u64;
             Ok(out)
@@ -144,27 +174,40 @@ pub fn anti_join(
 }
 
 /// Semi-join `R ⋉ S` (rows of `left` with a match), needed both for `IN`
-/// subqueries and to witness `R ⊼ S = R − (R ⋉ S)`.
+/// subqueries and to witness `R ⊼ S = R − (R ⋉ S)`. Serial (`par = 1`).
 pub fn semi_join(
     left: &Relation,
     right: &Relation,
     keys: &JoinKeys,
     stats: &mut ExecStats,
 ) -> Result<Relation> {
+    semi_join_par(left, right, keys, 1, stats)
+}
+
+/// [`semi_join`] with an explicit worker-thread count; same morsel contract
+/// as [`anti_join_par`].
+pub fn semi_join_par(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    par: usize,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
     stats.rows_scanned += (left.len() + right.len()) as u64;
-    let mut set: FxHashSet<Key> = FxHashSet::default();
-    for row in right.iter() {
-        let k = Key::of(row, &keys.right);
-        if !k.has_null() {
-            set.insert(k);
+    let idx = build_index(right, &keys.right, par);
+    let (bufs, info) = crate::par::run_morsels(left.len(), par, |range| {
+        let mut rows = Vec::new();
+        for row in &left.rows()[range] {
+            if !key_has_null(row, &keys.left) && idx.contains(right, row, &keys.left) {
+                rows.push(row.clone());
+            }
         }
-    }
+        Ok(rows)
+    })?;
+    stats.note_parallel(&info);
     let mut out = Relation::new(left.schema().clone());
-    for row in left.iter() {
-        let k = Key::of(row, &keys.left);
-        if !k.has_null() && set.contains(&k) {
-            out.push(row.clone())?;
-        }
+    for rows in bufs {
+        out.rows_mut().extend(rows);
     }
     stats.rows_produced += out.len() as u64;
     Ok(out)
@@ -294,6 +337,30 @@ mod tests {
         let mut s = ExecStats::new();
         let out = semi_join(&l, &r, &keys(), &mut s).unwrap();
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn parallel_anti_join_matches_serial_for_every_impl() {
+        let mut l = Relation::new(node_schema());
+        let mut r = Relation::new(node_schema());
+        for i in 0..12_000i64 {
+            l.push(row![i % 900, i as f64]).unwrap();
+            if i % 4 == 0 {
+                r.push(row![i % 900, 0.0]).unwrap();
+            }
+        }
+        for imp in AntiJoinImpl::ALL {
+            let mut s0 = ExecStats::new();
+            let serial =
+                anti_join(&l, &r, &keys(), imp, JoinStrategy::Hash, &mut s0).unwrap();
+            for par in [2, 8] {
+                let mut s = ExecStats::new();
+                let p = anti_join_par(&l, &r, &keys(), imp, JoinStrategy::Hash, par, &mut s)
+                    .unwrap();
+                assert_eq!(serial.rows(), p.rows(), "{} par={par}", imp.name());
+                assert_eq!(s.parallel_ops, 1, "{} par={par}", imp.name());
+            }
+        }
     }
 
     #[test]

@@ -7,16 +7,41 @@
 
 use crate::error::{AlgebraError, Result};
 use crate::expr::ScalarExpr;
+use crate::stats::ExecStats;
 use aio_storage::{Column, DataType, Relation, Schema};
 
 /// σ — keep rows satisfying `pred` (unbound; bound here against the input).
+/// Serial (`par = 1`).
 pub fn select(input: &Relation, pred: &ScalarExpr) -> Result<Relation> {
+    let mut stats = ExecStats::new();
+    select_par(input, pred, 1, &mut stats)
+}
+
+/// [`select`] with an explicit worker-thread count: morsels filter into
+/// per-morsel buffers concatenated in morsel order, so output order equals
+/// the serial scan's. Non-deterministic predicates (`random()`) force the
+/// serial path — the thread-local RNG stream must see rows in scan order.
+pub fn select_par(
+    input: &Relation,
+    pred: &ScalarExpr,
+    par: usize,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
     let bound = pred.bind(input.schema())?;
     let mut out = Relation::new(input.schema().clone());
-    for row in input.iter() {
-        if bound.eval_pred(row)? {
-            out.push(row.clone())?;
+    let par = if bound.is_deterministic() { par } else { 1 };
+    let (bufs, info) = crate::par::run_morsels(input.len(), par, |range| {
+        let mut rows = Vec::new();
+        for row in &input.rows()[range] {
+            if bound.eval_pred(row)? {
+                rows.push(row.clone());
+            }
         }
+        Ok(rows)
+    })?;
+    stats.note_parallel(&info);
+    for rows in bufs {
+        out.rows_mut().extend(rows);
     }
     Ok(out)
 }
@@ -36,8 +61,21 @@ fn out_column(expr: &ScalarExpr, alias: &str, input: &Schema) -> Column {
     Column::new(alias, ty)
 }
 
-/// Π — compute one output column per `(expr, alias)` item.
+/// Π — compute one output column per `(expr, alias)` item. Serial
+/// (`par = 1`).
 pub fn project(input: &Relation, items: &[(ScalarExpr, String)]) -> Result<Relation> {
+    let mut stats = ExecStats::new();
+    project_par(input, items, 1, &mut stats)
+}
+
+/// [`project`] with an explicit worker-thread count; same morsel contract
+/// and `random()` gating as [`select_par`].
+pub fn project_par(
+    input: &Relation,
+    items: &[(ScalarExpr, String)],
+    par: usize,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
     let bound: Vec<(ScalarExpr, &str)> = items
         .iter()
         .map(|(e, a)| Ok((e.bind(input.schema())?, a.as_str())))
@@ -49,12 +87,25 @@ pub fn project(input: &Relation, items: &[(ScalarExpr, String)]) -> Result<Relat
             .collect(),
     );
     let mut out = Relation::new(schema);
-    for row in input.iter() {
-        let vals: Vec<aio_storage::Value> = bound
-            .iter()
-            .map(|(e, _)| e.eval(row))
-            .collect::<Result<_>>()?;
-        out.push(vals.into_boxed_slice())?;
+    let par = if bound.iter().all(|(e, _)| e.is_deterministic()) {
+        par
+    } else {
+        1
+    };
+    let (bufs, info) = crate::par::run_morsels(input.len(), par, |range| {
+        let mut rows = Vec::new();
+        for row in &input.rows()[range] {
+            let vals: Vec<aio_storage::Value> = bound
+                .iter()
+                .map(|(e, _)| e.eval(row))
+                .collect::<Result<_>>()?;
+            rows.push(vals.into_boxed_slice());
+        }
+        Ok(rows)
+    })?;
+    stats.note_parallel(&info);
+    for rows in bufs {
+        out.rows_mut().extend(rows);
     }
     Ok(out)
 }
@@ -224,5 +275,47 @@ mod tests {
     fn distinct_dedups() {
         let a = nodes(&[(1, 1.0), (1, 1.0)]);
         assert_eq!(distinct(&a).len(), 1);
+    }
+
+    #[test]
+    fn parallel_select_project_match_serial() {
+        let mut r = Relation::new(node_schema());
+        for i in 0..15_000i64 {
+            r.push(row![i, (i % 13) as f64]).unwrap();
+        }
+        let p = ScalarExpr::binary(BinOp::Gt, ScalarExpr::col("vw"), ScalarExpr::lit(5.0));
+        let items = [
+            (ScalarExpr::col("ID"), "ID".to_string()),
+            (
+                ScalarExpr::binary(BinOp::Mul, ScalarExpr::col("vw"), ScalarExpr::lit(2.0)),
+                "d".to_string(),
+            ),
+        ];
+        let s_serial = select(&r, &p).unwrap();
+        let p_serial = project(&r, &items).unwrap();
+        for par in [2, 8] {
+            let mut st = ExecStats::new();
+            let s_par = select_par(&r, &p, par, &mut st).unwrap();
+            assert_eq!(s_serial.rows(), s_par.rows(), "select par={par}");
+            let p_par = project_par(&r, &items, par, &mut st).unwrap();
+            assert_eq!(p_serial.rows(), p_par.rows(), "project par={par}");
+            assert_eq!(st.parallel_ops, 2);
+        }
+    }
+
+    #[test]
+    fn random_predicate_stays_serial() {
+        let mut r = Relation::new(node_schema());
+        for i in 0..10_000i64 {
+            r.push(row![i, 0.0]).unwrap();
+        }
+        let p = ScalarExpr::binary(
+            BinOp::Lt,
+            ScalarExpr::Func(crate::expr::Func::Random, vec![]),
+            ScalarExpr::lit(0.5),
+        );
+        let mut st = ExecStats::new();
+        select_par(&r, &p, 8, &mut st).unwrap();
+        assert_eq!(st.parallel_ops, 0, "random() must not fan out");
     }
 }

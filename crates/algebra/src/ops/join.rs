@@ -6,13 +6,20 @@
 //! lets the merge join skip its sort (Exp-A / Fig. 10). Joins with no
 //! equality keys fall back to a nested loop over the residual predicate.
 //!
+//! The hash join is morsel-parallel (see [`crate::par`]): the build side is
+//! partitioned into hash-disjoint sub-tables built on one thread each, and
+//! the probe side is scanned in morsels whose output buffers concatenate in
+//! morsel order — so the result is identical at every parallelism setting,
+//! and `par = 1` *is* the serial pipeline. Probing is allocation-free: keys
+//! are hashed and compared in place ([`KeyIndex`]), never materialized.
+//!
 //! SQL join semantics: NULL keys never match (even NULL = NULL).
 
 use crate::error::Result;
 use crate::expr::ScalarExpr;
 use crate::profile::JoinStrategy;
 use crate::stats::ExecStats;
-use aio_storage::{Key, Relation, Row, Value};
+use aio_storage::{key_has_null, keys_eq, KeyIndex, Relation, Row, Value};
 
 /// Outer-join flavour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,8 +75,22 @@ fn null_row(arity: usize) -> Row {
     vec![Value::Null; arity].into_boxed_slice()
 }
 
+/// Lexicographic comparison of two rows projected to their key columns,
+/// without materializing a [`Key`](aio_storage::Key). Same order as
+/// `Key::cmp` (`Value`'s total order, NULLs first).
+fn key_cmp(a: &Row, a_cols: &[usize], b: &Row, b_cols: &[usize]) -> std::cmp::Ordering {
+    for (&ac, &bc) in a_cols.iter().zip(b_cols) {
+        match a[ac].cmp(&b[bc]) {
+            std::cmp::Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
 /// θ-join of `left` and `right` on equality `keys` plus an optional bound
-/// `residual` predicate over the concatenated schema.
+/// `residual` predicate over the concatenated schema. Serial (`par = 1`).
+#[allow(clippy::too_many_arguments)]
 pub fn join(
     left: &Relation,
     right: &Relation,
@@ -78,6 +99,25 @@ pub fn join(
     jt: JoinType,
     strategy: JoinStrategy,
     orders: JoinOrders<'_>,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
+    join_par(left, right, keys, residual, jt, strategy, orders, 1, stats)
+}
+
+/// [`join`] with an explicit worker-thread count. Only the hash strategy
+/// fans out (partition-parallel build, morsel-parallel probe); sort-merge
+/// and nested-loop run serially regardless. Output is identical at every
+/// `par`.
+#[allow(clippy::too_many_arguments)]
+pub fn join_par(
+    left: &Relation,
+    right: &Relation,
+    keys: &JoinKeys,
+    residual: Option<&ScalarExpr>,
+    jt: JoinType,
+    strategy: JoinStrategy,
+    orders: JoinOrders<'_>,
+    par: usize,
     stats: &mut ExecStats,
 ) -> Result<Relation> {
     stats.joins += 1;
@@ -91,7 +131,9 @@ pub fn join(
         nested_loop(left, right, &residual, jt, schema)?
     } else {
         match strategy {
-            JoinStrategy::Hash => hash_join(left, right, keys, &residual, jt, schema)?,
+            JoinStrategy::Hash => {
+                hash_join(left, right, keys, &residual, jt, schema, par, stats)?
+            }
             JoinStrategy::SortMerge => {
                 merge_join(left, right, keys, &residual, jt, schema, orders, stats)?
             }
@@ -156,11 +198,10 @@ fn keyed_nested_loop(
     let mut out = Relation::new(schema);
     let mut right_matched = vec![false; right.len()];
     for lrow in left.iter() {
-        let lk = Key::of(lrow, &keys.left);
         let mut matched = false;
-        if !lk.has_null() {
+        if !key_has_null(lrow, &keys.left) {
             for (ri, rrow) in right.iter().enumerate() {
-                if Key::of(rrow, &keys.right) != lk {
+                if !keys_eq(rrow, &keys.right, lrow, &keys.left) {
                     continue;
                 }
                 let row = concat(lrow, rrow);
@@ -185,6 +226,7 @@ fn keyed_nested_loop(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn hash_join(
     left: &Relation,
     right: &Relation,
@@ -192,41 +234,74 @@ fn hash_join(
     residual: &Option<ScalarExpr>,
     jt: JoinType,
     schema: aio_storage::Schema,
+    par: usize,
+    stats: &mut ExecStats,
 ) -> Result<Relation> {
-    let build = right.key_multimap(&keys.right);
-    let mut out = Relation::new(schema);
-    let mut right_matched = vec![false; right.len()];
-    for lrow in left.iter() {
-        let lk = Key::of(lrow, &keys.left);
-        let mut matched = false;
-        if !lk.has_null() {
-            if let Some(hits) = build.get(&lk) {
-                for &ri in hits {
-                    let rrow = &right.rows()[ri as usize];
-                    let row = concat(lrow, rrow);
+    // Partition-parallel build: P hash-disjoint sub-tables, one thread
+    // each. The index contents are independent of P.
+    let build_parts = if par > 1 && right.len() >= crate::par::MIN_PARALLEL_ROWS {
+        par
+    } else {
+        1
+    };
+    let build = KeyIndex::build_partitioned(right, &keys.right, build_parts);
+
+    // Morsel-parallel probe over the left side: each morsel fills its own
+    // row buffer (plus, for full joins, its own matched-right bitmap), and
+    // buffers concatenate in morsel order — the output equals the serial
+    // scan's, row for row. The probe itself is allocation-free per row.
+    let rarity = right.schema().arity();
+    let nwords = right.len().div_ceil(64);
+    let (bufs, info) = crate::par::run_morsels(left.len(), par, |range| {
+        let mut rows: Vec<Row> = Vec::new();
+        let mut matched = vec![0u64; if jt == JoinType::Full { nwords } else { 0 }];
+        for lrow in &left.rows()[range] {
+            let mut any = false;
+            if !key_has_null(lrow, &keys.left) {
+                for ri in build.probe(right, lrow, &keys.left) {
+                    let row = concat(lrow, &right.rows()[ri as usize]);
                     if keep(residual, &row)? {
-                        matched = true;
-                        right_matched[ri as usize] = true;
-                        out.rows_mut().push(row);
+                        any = true;
+                        if jt == JoinType::Full {
+                            matched[ri as usize / 64] |= 1 << (ri % 64);
+                        }
+                        rows.push(row);
                     }
                 }
             }
+            if !any && jt != JoinType::Inner {
+                rows.push(concat(lrow, &null_row(rarity)));
+            }
         }
-        if !matched && jt != JoinType::Inner {
-            out.rows_mut().push(concat(lrow, &null_row(right.schema().arity())));
-        }
-    }
+        Ok((rows, matched))
+    })?;
+    stats.note_parallel(&info);
+
+    let mut out = Relation::new(schema);
     if jt == JoinType::Full {
+        let mut right_matched = vec![0u64; nwords];
+        for (rows, words) in bufs {
+            out.rows_mut().extend(rows);
+            for (acc, w) in right_matched.iter_mut().zip(&words) {
+                *acc |= w;
+            }
+        }
         for (ri, rrow) in right.iter().enumerate() {
-            if !right_matched[ri] {
+            if right_matched[ri / 64] & (1 << (ri % 64)) == 0 {
                 out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
             }
+        }
+    } else {
+        for (rows, _) in bufs {
+            out.rows_mut().extend(rows);
         }
     }
     Ok(out)
 }
 
 /// Sort both inputs by key (or reuse a provided index order) and merge.
+/// Key comparisons are borrowed ([`key_cmp`] / [`keys_eq`]) — the run
+/// detection allocates nothing.
 #[allow(clippy::too_many_arguments)]
 fn merge_join(
     left: &Relation,
@@ -250,22 +325,20 @@ fn merge_join(
     while i < lorder.len() && j < rorder.len() {
         let lrow = &lrows[lorder[i] as usize];
         let rrow = &rrows[rorder[j] as usize];
-        let lk = Key::of(lrow, &keys.left);
-        let rk = Key::of(rrow, &keys.right);
         // NULL keys sort first and never match; skip them (left side keeps
         // them for outer joins).
-        if lk.has_null() {
+        if key_has_null(lrow, &keys.left) {
             if jt != JoinType::Inner {
                 left_unmatched.push(lorder[i]);
             }
             i += 1;
             continue;
         }
-        if rk.has_null() {
+        if key_has_null(rrow, &keys.right) {
             j += 1;
             continue;
         }
-        match lk.cmp(&rk) {
+        match key_cmp(lrow, &keys.left, rrow, &keys.right) {
             std::cmp::Ordering::Less => {
                 if jt != JoinType::Inner {
                     left_unmatched.push(lorder[i]);
@@ -277,13 +350,13 @@ fn merge_join(
                 // find the run of equal keys on each side
                 let mut i_end = i + 1;
                 while i_end < lorder.len()
-                    && Key::of(&lrows[lorder[i_end] as usize], &keys.left) == lk
+                    && keys_eq(&lrows[lorder[i_end] as usize], &keys.left, lrow, &keys.left)
                 {
                     i_end += 1;
                 }
                 let mut j_end = j + 1;
                 while j_end < rorder.len()
-                    && Key::of(&rrows[rorder[j_end] as usize], &keys.right) == rk
+                    && keys_eq(&rrows[rorder[j_end] as usize], &keys.right, rrow, &keys.right)
                 {
                     j_end += 1;
                 }
@@ -576,5 +649,39 @@ mod tests {
         assert_eq!(s2.sorts, 1);
         assert_eq!(s2.index_scans, 1);
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn parallel_hash_join_is_row_identical_to_serial() {
+        // big enough that morsel splitting actually happens
+        let mut l = Relation::new(node_schema().with_qualifier("L"));
+        let mut r = Relation::new(node_schema().with_qualifier("R"));
+        for i in 0..10_000i64 {
+            l.push(row![i % 701, i as f64]).unwrap();
+            if i % 3 == 0 {
+                r.push(row![i % 701, -(i as f64)]).unwrap();
+            }
+        }
+        let keys = JoinKeys::resolve(&l, &r, &[("L.ID".into(), "R.ID".into())]).unwrap();
+        for jt in [JoinType::Inner, JoinType::Left, JoinType::Full] {
+            let mut s1 = ExecStats::new();
+            let serial = join(
+                &l, &r, &keys, None, jt, JoinStrategy::Hash,
+                JoinOrders::default(), &mut s1,
+            )
+            .unwrap();
+            assert_eq!(s1.parallel_ops, 0, "serial path records no fan-out");
+            for par in [2, 8] {
+                let mut s = ExecStats::new();
+                let p = join_par(
+                    &l, &r, &keys, None, jt, JoinStrategy::Hash,
+                    JoinOrders::default(), par, &mut s,
+                )
+                .unwrap();
+                assert_eq!(serial.rows(), p.rows(), "{jt:?} par={par}");
+                assert_eq!(s.parallel_ops, 1, "{jt:?} par={par}");
+                assert!(s.morsels > 1);
+            }
+        }
     }
 }

@@ -9,10 +9,13 @@ pub mod join;
 pub mod union_by_update;
 
 pub use aggjoin::{mm_join, mm_join_basic_ops, mv_join, MvOrientation};
-pub use anti_join::{anti_join, anti_join_basic_ops, semi_join, AntiJoinImpl};
-pub use basic::{
-    difference, distinct, product, project, rename, select, union_all, union_distinct,
+pub use anti_join::{
+    anti_join, anti_join_basic_ops, anti_join_par, semi_join, semi_join_par, AntiJoinImpl,
 };
-pub use groupby::{group_by, window};
-pub use join::{join, join_on, JoinKeys, JoinOrders, JoinType};
+pub use basic::{
+    difference, distinct, product, project, project_par, rename, select, select_par,
+    union_all, union_distinct,
+};
+pub use groupby::{group_by, group_by_par, window};
+pub use join::{join, join_on, join_par, JoinKeys, JoinOrders, JoinType};
 pub use union_by_update::{union_by_update, UbuImpl};

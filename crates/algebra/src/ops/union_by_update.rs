@@ -178,19 +178,37 @@ pub fn union_by_update(
                 AlgebraError::NonUniqueUpdate(format!("union-by-update source: {e}"))
             })?;
             // coalesce(S.*, R.*) per key, plus S-only rows — one pass each.
+            // The probe over the target runs in morsels; per-morsel buffers
+            // concatenate in morsel order, so the materialized relation is
+            // identical at any parallelism. The Key-based dmap stays: this
+            // operation matches with *storage* equality (NULL keys do
+            // match), unlike the SQL joins.
+            let par = profile.effective_parallelism();
             let mut matched = vec![false; delta.len()];
             let mut new_rows: Vec<Row>;
             {
                 let t = catalog.relation(target)?;
-                new_rows = Vec::with_capacity(t.len() + delta.len());
-                for row in t.iter() {
-                    let k = Key::of(row, keys);
-                    match dmap.get(&k) {
-                        Some(&di) => {
-                            matched[di] = true;
-                            new_rows.push(delta.rows()[di].clone());
+                let (bufs, info) = crate::par::run_morsels(t.len(), par, |range| {
+                    let mut rows: Vec<Row> = Vec::with_capacity(range.len());
+                    let mut hit: Vec<u32> = Vec::new();
+                    for row in &t.rows()[range] {
+                        let k = Key::of(row, keys);
+                        match dmap.get(&k) {
+                            Some(&di) => {
+                                hit.push(di as u32);
+                                rows.push(delta.rows()[di].clone());
+                            }
+                            None => rows.push(row.clone()),
                         }
-                        None => new_rows.push(row.clone()),
+                    }
+                    Ok((rows, hit))
+                })?;
+                stats.note_parallel(&info);
+                new_rows = Vec::with_capacity(t.len() + delta.len());
+                for (rows, hit) in bufs {
+                    new_rows.extend(rows);
+                    for di in hit {
+                        matched[di as usize] = true;
                     }
                 }
             }
@@ -429,6 +447,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(contents(&c), rows.to_vec());
+    }
+
+    #[test]
+    fn parallel_probe_is_row_identical_to_serial() {
+        for imp in [UbuImpl::FullOuterJoin, UbuImpl::DropAlter] {
+            let run = |par: usize| {
+                let mut c = Catalog::new();
+                let mut r = Relation::new(node_schema());
+                for i in 0..10_000i64 {
+                    r.push(row![i, i as f64]).unwrap();
+                }
+                c.create_temp("V", r).unwrap();
+                let mut d = Relation::new(node_schema());
+                for i in (0..10_000i64).step_by(3) {
+                    d.push(row![i, -(i as f64)]).unwrap();
+                }
+                let mut s = ExecStats::new();
+                let p = oracle_like().with_parallelism(par);
+                union_by_update(&mut c, "V", d, Some(&[0]), imp, &p, &mut s).unwrap();
+                (c.relation("V").unwrap().rows().to_vec(), s.parallel_ops)
+            };
+            let (serial, pops) = run(1);
+            assert_eq!(pops, 0, "{}", imp.name());
+            for par in [2, 8] {
+                let (rows, pops) = run(par);
+                assert_eq!(serial, rows, "{} par={par}", imp.name());
+                assert_eq!(pops, 1, "{} par={par}", imp.name());
+            }
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn split_conjuncts(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
 
 fn conjoin(mut cs: Vec<ScalarExpr>) -> Option<ScalarExpr> {
     let first = cs.pop()?;
-    Some(cs.into_iter().fold(first, |acc, c| ScalarExpr::and(acc, c)))
+    Some(cs.into_iter().fold(first, ScalarExpr::and))
 }
 
 /// Do all column references of `e` resolve into `side` (qualified, and the

@@ -188,6 +188,11 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Worker threads per the profile's parallelism knob (resolved).
+    fn par(&self) -> usize {
+        self.profile.effective_parallelism()
+    }
+
     pub fn eval(&mut self, plan: &Plan) -> Result<Relation> {
         match plan {
             Plan::Scan { table, alias } => {
@@ -201,13 +206,13 @@ impl<'a> Evaluator<'a> {
             Plan::Values(rel) => Ok(rel.clone()),
             Plan::Select { input, pred } => {
                 let rel = self.eval(input)?;
-                let out = ops::select(&rel, pred)?;
+                let out = ops::select_par(&rel, pred, self.par(), &mut self.stats)?;
                 self.stats.rows_produced += out.len() as u64;
                 Ok(out)
             }
             Plan::Project { input, items } => {
                 let rel = self.eval(input)?;
-                let out = ops::project(&rel, items)?;
+                let out = ops::project_par(&rel, items, self.par(), &mut self.stats)?;
                 self.stats.rows_produced += out.len() as u64;
                 Ok(out)
             }
@@ -217,7 +222,14 @@ impl<'a> Evaluator<'a> {
                 items,
             } => {
                 let rel = self.eval(input)?;
-                ops::group_by(&rel, group_by, items, self.profile.agg, &mut self.stats)
+                ops::group_by_par(
+                    &rel,
+                    group_by,
+                    items,
+                    self.profile.agg,
+                    self.par(),
+                    &mut self.stats,
+                )
             }
             Plan::Window {
                 input,
@@ -253,7 +265,7 @@ impl<'a> Evaluator<'a> {
                     .as_ref()
                     .and_then(|t| self.catalog.index_on(t, &keys.right))
                     .map(|i| i.order());
-                ops::join(
+                ops::join_par(
                     &lrel,
                     &rrel,
                     &keys,
@@ -264,6 +276,7 @@ impl<'a> Evaluator<'a> {
                         left: lorder,
                         right: rorder,
                     },
+                    self.par(),
                     &mut self.stats,
                 )
             }
@@ -299,13 +312,21 @@ impl<'a> Evaluator<'a> {
                 let l = self.eval(left)?;
                 let r = self.eval(right)?;
                 let keys = JoinKeys::resolve(&l, &r, on)?;
-                ops::anti_join(&l, &r, &keys, *imp, self.profile.join, &mut self.stats)
+                ops::anti_join_par(
+                    &l,
+                    &r,
+                    &keys,
+                    *imp,
+                    self.profile.join,
+                    self.par(),
+                    &mut self.stats,
+                )
             }
             Plan::SemiJoin { left, right, on } => {
                 let l = self.eval(left)?;
                 let r = self.eval(right)?;
                 let keys = JoinKeys::resolve(&l, &r, on)?;
-                ops::semi_join(&l, &r, &keys, &mut self.stats)
+                ops::semi_join_par(&l, &r, &keys, self.par(), &mut self.stats)
             }
         }
     }

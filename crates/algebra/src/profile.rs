@@ -48,6 +48,23 @@ pub struct EngineProfile {
     /// Oracle and DB2 keep hash join regardless; only PostgreSQL's merge
     /// join consumes the index order.
     pub plan_uses_indexes: bool,
+    /// Worker threads for morsel-parallel operators. `1` (the default for
+    /// every paper profile) is the serial pipeline the paper measures; `0`
+    /// means all available cores. Outputs are deterministic at any setting.
+    pub parallelism: usize,
+}
+
+impl EngineProfile {
+    /// Builder-style override of the parallelism knob.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The knob resolved against the machine (`0` → available cores).
+    pub fn effective_parallelism(&self) -> usize {
+        crate::par::effective(self.parallelism)
+    }
 }
 
 /// Oracle-like: hash everything, direct-path insert, indexes ignored.
@@ -60,6 +77,7 @@ pub fn oracle_like() -> EngineProfile {
         wal_update: WalPolicy::Full,
         build_indexes: false,
         plan_uses_indexes: false,
+        parallelism: 1,
     }
 }
 
@@ -73,6 +91,7 @@ pub fn db2_like() -> EngineProfile {
         wal_update: WalPolicy::Full,
         build_indexes: false,
         plan_uses_indexes: false,
+        parallelism: 1,
     }
 }
 
@@ -91,6 +110,7 @@ pub fn postgres_like(with_indexes: bool) -> EngineProfile {
         wal_update: WalPolicy::Full,
         build_indexes: with_indexes,
         plan_uses_indexes: with_indexes,
+        parallelism: 1,
     }
 }
 

@@ -25,6 +25,10 @@ pub struct ExecStats {
     pub sorts: u64,
     /// Index-order scans that avoided a sort (Fig. 10's win).
     pub index_scans: u64,
+    /// Operator invocations that actually fanned out to >1 worker thread.
+    pub parallel_ops: u64,
+    /// Morsels executed by those parallel invocations.
+    pub morsels: u64,
 }
 
 impl ExecStats {
@@ -42,12 +46,22 @@ impl ExecStats {
         self.union_by_updates += other.union_by_updates;
         self.sorts += other.sorts;
         self.index_scans += other.index_scans;
+        self.parallel_ops += other.parallel_ops;
+        self.morsels += other.morsels;
+    }
+
+    /// Record one operator invocation that ran with >1 worker.
+    pub fn note_parallel(&mut self, info: &crate::par::ParInfo) {
+        if info.parallel() {
+            self.parallel_ops += 1;
+            self.morsels += info.morsels;
+        }
     }
 
     /// One-line summary for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "scanned={} produced={} joins={} aggs={} anti={} ubu={} sorts={} idx_scans={}",
+            "scanned={} produced={} joins={} aggs={} anti={} ubu={} sorts={} idx_scans={} par_ops={} morsels={}",
             self.rows_scanned,
             self.rows_produced,
             self.joins,
@@ -55,7 +69,9 @@ impl ExecStats {
             self.anti_joins,
             self.union_by_updates,
             self.sorts,
-            self.index_scans
+            self.index_scans,
+            self.parallel_ops,
+            self.morsels
         )
     }
 }

@@ -22,11 +22,14 @@ with D(F, T, ew) as (
    where D1.T = D2.F group by D1.F, D2.T))
 select * from D";
 
+/// `(from, to) → distance` map produced by [`run`].
+pub type PairDistances = FxHashMap<(i64, i64), f64>;
+
 /// Run APSP; returns (from, to) → distance (missing = unreachable).
 pub fn run(
     g: &Graph,
     profile: &EngineProfile,
-) -> Result<(FxHashMap<(i64, i64), f64>, QueryResult)> {
+) -> Result<(PairDistances, QueryResult)> {
     // the zero diagonal comes in through self-loops with weight 0
     let mut db = common::db_for(g, profile, EdgeStyle::WithLoops(0.0))?;
     let out = db.execute(SQL)?;

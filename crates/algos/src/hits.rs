@@ -35,12 +35,15 @@ pub fn sql(iters: usize) -> String {
     )
 }
 
+/// `id → (hub, authority)` map produced by [`run`].
+pub type HubAuth = FxHashMap<i64, (f64, f64)>;
+
 /// Run HITS; returns id → (hub, authority).
 pub fn run(
     g: &Graph,
     profile: &EngineProfile,
     iters: usize,
-) -> Result<(FxHashMap<i64, (f64, f64)>, QueryResult)> {
+) -> Result<(HubAuth, QueryResult)> {
     let mut db = common::db_for(g, profile, EdgeStyle::Raw)?;
     let out = db.execute(&sql(iters))?;
     let map = out

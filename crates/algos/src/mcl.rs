@@ -50,8 +50,8 @@ pub fn run(
     for (u, v, _) in g.edges() {
         em.push(row![u as i64, v as i64, 1.0 / indeg[v as usize] as f64])?;
     }
-    for v in 0..g.node_count() {
-        em.push(row![v as i64, v as i64, 1.0 / indeg[v] as f64])?;
+    for (v, &deg) in indeg.iter().enumerate() {
+        em.push(row![v as i64, v as i64, 1.0 / deg as f64])?;
     }
     db.create_table("EM", em)?;
     db.set_param("prune", 1e-4);
@@ -126,8 +126,8 @@ mod tests {
             em.push(row![u as i64, v as i64, 1.0 / indeg[v as usize] as f64])
                 .unwrap();
         }
-        for v in 0..g.node_count() {
-            em.push(row![v as i64, v as i64, 1.0 / indeg[v] as f64]).unwrap();
+        for (v, &deg) in indeg.iter().enumerate() {
+            em.push(row![v as i64, v as i64, 1.0 / deg as f64]).unwrap();
         }
         db.create_table("EM", em).unwrap();
         db.set_param("prune", 1e-4);

@@ -29,13 +29,16 @@ pub fn sql(iters: usize) -> String {
     )
 }
 
+/// `(a, b) → similarity` map produced by [`run`].
+pub type PairScores = FxHashMap<(i64, i64), f64>;
+
 /// Run SimRank; returns (a, b) → similarity.
 pub fn run(
     g: &Graph,
     profile: &EngineProfile,
     c: f64,
     iters: usize,
-) -> Result<(FxHashMap<(i64, i64), f64>, QueryResult)> {
+) -> Result<(PairScores, QueryResult)> {
     let mut db = common::db_for(g, profile, EdgeStyle::Raw)?;
     // EN: in-degree-normalized edges Ê(i, a) = 1/|I(a)| per edge i→a
     let mut indeg = vec![0usize; g.node_count()];

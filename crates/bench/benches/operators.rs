@@ -103,7 +103,7 @@ fn bench_union_by_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("union_by_update");
     for imp in UbuImpl::ALL {
         let prof = if imp == UbuImpl::UpdateFrom { &pg } else { &profile };
-        group.bench_function(imp.name().replace(' ', "_").replace('/', "_"), |b| {
+        group.bench_function(imp.name().replace([' ', '/'], "_"), |b| {
             b.iter_with_setup(
                 || {
                     let mut cat = Catalog::new();

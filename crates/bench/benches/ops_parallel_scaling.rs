@@ -1,0 +1,78 @@
+//! Criterion micro-benches for morsel-parallel operator scaling: hash join
+//! and hash group-by over a power-law edge relation at parallelism 1/2/4/8.
+//!
+//! For the full ~1M-row run with machine-readable output use
+//! `cargo run --release -p aio-bench --bin repro -- scaling`.
+
+use aio_algebra::ops::{group_by_par, join_par, JoinKeys, JoinOrders, JoinType};
+use aio_algebra::{AggFunc, AggStrategy, ExecStats, JoinStrategy, ScalarExpr};
+use aio_graph::{generate, load, GraphKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const PARALLELISMS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_hash_join_scaling(c: &mut Criterion) {
+    let g = generate(GraphKind::PowerLaw, 20_000, 200_000, true, 41);
+    let e = load::edge_relation(&g);
+    let v = load::node_relation(&g);
+    let keys = JoinKeys {
+        left: vec![1],
+        right: vec![0],
+    };
+    let mut group = c.benchmark_group("hash_join_scaling");
+    for par in PARALLELISMS {
+        group.bench_function(format!("par{par}"), |b| {
+            b.iter(|| {
+                let mut s = ExecStats::new();
+                black_box(
+                    join_par(
+                        &e,
+                        &v,
+                        &keys,
+                        None,
+                        JoinType::Inner,
+                        JoinStrategy::Hash,
+                        JoinOrders::default(),
+                        par,
+                        &mut s,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_by_scaling(c: &mut Criterion) {
+    let g = generate(GraphKind::PowerLaw, 20_000, 200_000, true, 41);
+    let e = load::edge_relation(&g);
+    let items = [
+        (ScalarExpr::col("F"), "F".to_string()),
+        (
+            ScalarExpr::Agg(AggFunc::Count, Box::new(ScalarExpr::col("ew"))),
+            "cnt".to_string(),
+        ),
+        (
+            ScalarExpr::Agg(AggFunc::Sum, Box::new(ScalarExpr::col("ew"))),
+            "total".to_string(),
+        ),
+    ];
+    let group_refs = ["F".to_string()];
+    let mut group = c.benchmark_group("group_by_scaling");
+    for par in PARALLELISMS {
+        group.bench_function(format!("par{par}"), |b| {
+            b.iter(|| {
+                let mut s = ExecStats::new();
+                black_box(
+                    group_by_par(&e, &group_refs, &items, AggStrategy::Hash, par, &mut s).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_join_scaling, bench_group_by_scaling);
+criterion_main!(benches);

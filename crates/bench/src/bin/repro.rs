@@ -5,6 +5,9 @@
 //!
 //! EXPERIMENT: table1 table2 table3 table4_5 table6_7
 //!             fig7 fig8 fig10 fig11 fig12 fig13 | all (default: all)
+//!             scaling (morsel-parallel operator scaling; not part of `all`,
+//!             emits BENCH_scaling.json; --scale is relative to 1M edges and
+//!             defaults to 1.0 for this experiment)
 //! --scale S : dataset scale factor relative to the published sizes
 //!             (default 0.001; 1.0 = the full SNAP sizes)
 //! ```
@@ -14,6 +17,7 @@ use aio_bench::experiments as exp;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.001f64;
+    let mut scale_given = false;
     let mut picks: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -23,6 +27,7 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("missing/bad value for --scale"));
+                scale_given = true;
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -59,6 +64,8 @@ fn main() {
             "fig11" => exp::fig11(scale),
             "fig12" => exp::fig12(scale),
             "fig13" => exp::fig13(scale),
+            // scaling's --scale is relative to the 1M-edge reference size
+            "scaling" => exp::scaling(if scale_given { scale } else { 1.0 }),
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;
@@ -79,7 +86,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S]\n\
-         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all"
+         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

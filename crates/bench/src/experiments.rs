@@ -4,8 +4,13 @@
 
 use crate::runner::{run_algo, FIG7_ALGOS, FIG8_ALGOS, FIXED_ITERS};
 use crate::{ms, TextTable};
-use aio_algebra::ops::{AntiJoinImpl, UbuImpl};
-use aio_algebra::{all_profiles, oracle_like, postgres_like};
+use aio_algebra::ops::{
+    group_by_par, join_par, AntiJoinImpl, JoinKeys, JoinOrders, JoinType, UbuImpl,
+};
+use aio_algebra::{
+    all_profiles, oracle_like, postgres_like, AggFunc, AggStrategy, ExecStats, JoinStrategy,
+    ScalarExpr,
+};
 use aio_algos as algos;
 use aio_algos::common::{db_for, EdgeStyle};
 use aio_graph::engines::{Bsp, DatalogEngine, VertexCentric};
@@ -421,6 +426,120 @@ Expected shape (paper): with+ tracks the with/union baseline for TC; APSP costs 
 /// Exp-1 summary table combining 4 & 5, 6 & 7 (convenience).
 pub fn exp1(scale: f64) -> String {
     format!("{}\n{}", table4_5(scale), table6_7(scale))
+}
+
+/// Morsel-parallel scaling: hash join and hash group-by on a power-law edge
+/// relation at parallelism 1/2/4/8. `scale` is relative to the 1M-edge
+/// reference size (so `1.0` ≈ 1M rows). Writes machine-readable results to
+/// `BENCH_scaling.json` in the working directory and returns a text report.
+pub fn scaling(scale: f64) -> String {
+    let edges = ((1.0e6 * scale) as usize).max(1_000);
+    let nodes = (edges / 10).max(100);
+    let g = aio_graph::generate(aio_graph::GraphKind::PowerLaw, nodes, edges, true, 41);
+    let e = aio_graph::load::edge_relation(&g);
+    let v = aio_graph::load::node_relation(&g);
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let keys = JoinKeys {
+        left: vec![1],
+        right: vec![0],
+    };
+    let gb_items = [
+        (ScalarExpr::col("F"), "F".to_string()),
+        (
+            ScalarExpr::Agg(AggFunc::Count, Box::new(ScalarExpr::col("ew"))),
+            "cnt".to_string(),
+        ),
+        (
+            ScalarExpr::Agg(AggFunc::Sum, Box::new(ScalarExpr::col("ew"))),
+            "total".to_string(),
+        ),
+    ];
+    let gb_group = ["F".to_string()];
+
+    // best-of-N wall time for one operator invocation at parallelism `par`
+    let reps = 3usize;
+    let time_op = |op: &dyn Fn(usize) -> usize, par: usize| -> (f64, usize) {
+        let mut best = f64::INFINITY;
+        let mut out_rows = 0;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            out_rows = op(par);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        (best, out_rows)
+    };
+    let join_op = |par: usize| -> usize {
+        let mut s = ExecStats::new();
+        join_par(
+            &e,
+            &v,
+            &keys,
+            None,
+            JoinType::Inner,
+            JoinStrategy::Hash,
+            JoinOrders::default(),
+            par,
+            &mut s,
+        )
+        .expect("scaling join")
+        .len()
+    };
+    let gb_op = |par: usize| -> usize {
+        let mut s = ExecStats::new();
+        group_by_par(&e, &gb_group, &gb_items, AggStrategy::Hash, par, &mut s)
+            .expect("scaling group-by")
+            .len()
+    };
+
+    let mut t = TextTable::new(vec!["op", "par", "time (ms)", "speedup", "out rows"]);
+    let mut json_rows = String::new();
+    for (name, op) in [
+        ("hash_join", &join_op as &dyn Fn(usize) -> usize),
+        ("group_by", &gb_op as &dyn Fn(usize) -> usize),
+    ] {
+        let mut base = 0.0f64;
+        for par in [1usize, 2, 4, 8] {
+            let (ms, rows) = time_op(op, par);
+            if par == 1 {
+                base = ms;
+            }
+            let speedup = if ms > 0.0 { base / ms } else { 0.0 };
+            t.row(vec![
+                name.to_string(),
+                par.to_string(),
+                format!("{ms:.1}"),
+                format!("{speedup:.2}x"),
+                rows.to_string(),
+            ]);
+            if !json_rows.is_empty() {
+                json_rows.push_str(",\n");
+            }
+            json_rows.push_str(&format!(
+                "    {{\"op\": \"{name}\", \"parallelism\": {par}, \"ms\": {ms:.3}, \
+                 \"speedup\": {speedup:.3}, \"out_rows\": {rows}}}"
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"ops_parallel_scaling\",\n  \"edges\": {},\n  \"nodes\": {},\n  \
+         \"host_threads\": {host},\n  \"reps\": {reps},\n  \"results\": [\n{json_rows}\n  ]\n}}\n",
+        e.len(),
+        v.len(),
+    );
+    let json_note = match std::fs::write("BENCH_scaling.json", &json) {
+        Ok(()) => "results written to BENCH_scaling.json".to_string(),
+        Err(err) => format!("could not write BENCH_scaling.json: {err}"),
+    };
+    format!(
+        "Scaling — morsel-parallel hash join & group-by ({} edges, {} nodes, host threads: {host})\n\n{}\n\
+         Speedups are relative to parallelism 1 (the serial paper profile); on a single-core host\n\
+         all settings collapse to ~1.0x by construction. {json_note}\n",
+        e.len(),
+        v.len(),
+        t.render()
+    )
 }
 
 #[cfg(test)]

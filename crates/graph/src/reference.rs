@@ -55,6 +55,7 @@ pub fn bellman_ford(g: &Graph, src: u32) -> Vec<f64> {
 }
 
 /// All-pairs shortest distances (Floyd-Warshall) — O(n³), small graphs only.
+#[allow(clippy::needless_range_loop)] // textbook matrix indexing
 pub fn floyd_warshall(g: &Graph) -> Vec<Vec<f64>> {
     let n = g.node_count();
     let mut d = vec![vec![f64::INFINITY; n]; n];
@@ -323,6 +324,7 @@ pub fn is_maximal_matching(g: &Graph, pairs: &[(u32, u32)]) -> bool {
 
 /// SimRank by the naive iterative definition (small graphs only):
 /// `s(a,b) = C/(|I(a)||I(b)|) Σ s(i,j)` over in-neighbours, `s(a,a)=1`.
+#[allow(clippy::needless_range_loop)] // textbook matrix indexing
 pub fn simrank(g: &Graph, c: f64, iters: usize) -> Vec<Vec<f64>> {
     let n = g.node_count();
     let rev = g.reverse();
@@ -462,7 +464,7 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 2, 1.0), (1, 2, 1.0)], true);
         let s = simrank(&g, 0.8, 5);
         assert_eq!(s[0][0], 1.0);
-        assert!(s[0][1] > 0.0 || s[0][1] == 0.0);
+        assert!(s[0][1] >= 0.0);
         assert_eq!(s[0][1], s[1][0]);
     }
 }

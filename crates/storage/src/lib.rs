@@ -16,6 +16,7 @@ pub mod catalog;
 pub mod error;
 pub mod hash;
 pub mod index;
+pub mod keyidx;
 pub mod relation;
 pub mod schema;
 pub mod value;
@@ -25,6 +26,7 @@ pub use catalog::{Catalog, TableEntry};
 pub use error::{Result, StorageError};
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedIndex};
+pub use keyidx::{key_has_null, key_hash, keys_eq, KeyIndex};
 pub use relation::{edge_schema, node_schema, Key, Relation, Row};
 pub use schema::{Column, DataType, Schema};
 pub use value::Value;

@@ -267,7 +267,7 @@ mod tests {
 
     #[test]
     fn total_order_sorts_null_first() {
-        let mut v = vec![
+        let mut v = [
             Value::text("z"),
             Value::Int(5),
             Value::Null,

@@ -286,9 +286,10 @@ impl Parser {
             });
         }
         let expr = self.parse_expr()?;
-        let alias = if self.eat_kw("as") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Token::Ident(s) if !is_reserved(s)) {
+        // `AS alias` and a bare unreserved identifier both name the item
+        let alias = if self.eat_kw("as")
+            || matches!(self.peek(), Token::Ident(s) if !is_reserved(s))
+        {
             Some(self.ident()?)
         } else {
             None
@@ -331,9 +332,10 @@ impl Parser {
 
     fn parse_from_primary(&mut self) -> Result<FromItem> {
         let name = self.ident()?;
-        let alias = if self.eat_kw("as") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Token::Ident(s) if !is_reserved(s)) {
+        // `AS alias` and a bare unreserved identifier both name the item
+        let alias = if self.eat_kw("as")
+            || matches!(self.peek(), Token::Ident(s) if !is_reserved(s))
+        {
             Some(self.ident()?)
         } else {
             None

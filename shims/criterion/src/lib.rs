@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container has no registry access, so `cargo bench` links against this
+//! tiny wall-clock harness instead. It mirrors the API the workspace's
+//! benches use — `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_with_setup}`, `sample_size`, and the
+//! `criterion_group!`/`criterion_main!` macros — and prints min/mean/max
+//! per benchmark. No statistics, plots or HTML reports.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        budget: samples,
+    };
+    // one warm-up pass, then the measured samples
+    f(&mut b);
+    b.samples.clear();
+    f(&mut b);
+    let (mut min, mut max, mut sum) = (Duration::MAX, Duration::ZERO, Duration::ZERO);
+    for &d in &b.samples {
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    let n = b.samples.len().max(1);
+    println!(
+        "  {label}: mean {:.3} ms, min {:.3} ms, max {:.3} ms ({n} samples)",
+        sum.as_secs_f64() * 1e3 / n as f64,
+        if min == Duration::MAX { Duration::ZERO } else { min }.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3,
+    );
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Time `routine` `sample_size` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.budget {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup` (setup excluded).
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        for _ in 0..self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Declare a bench entry point running each target with a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut ran = 0usize;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 3, "warm-up + measured passes ran");
+    }
+
+    #[test]
+    fn iter_with_setup_separates_setup() {
+        let mut c = Criterion::default();
+        c.sample_size(2).bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1, 2, 3], |v| v.len())
+        });
+    }
+}
