@@ -1,7 +1,25 @@
 #!/bin/sh
 # Local mirror of .github/workflows/ci.yml — run before pushing.
+#
+#   ./ci.sh        tier-1: build, the default (smoke) test suite, clippy
+#   ./ci.sh full   additionally runs every #[ignore]d heavyweight test:
+#                  the full differential matrix, the metamorphic sweep,
+#                  and any other long-running suites (~ a few minutes)
 set -eux
 
+mode="${1:-smoke}"
+
 cargo build --release --workspace
-cargo test -q --workspace
+case "$mode" in
+full)
+    cargo test -q --workspace -- --include-ignored
+    ;;
+smoke)
+    cargo test -q --workspace
+    ;;
+*)
+    echo "usage: $0 [full]" >&2
+    exit 2
+    ;;
+esac
 cargo clippy --workspace --all-targets -- -D warnings

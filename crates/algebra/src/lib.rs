@@ -17,6 +17,7 @@
 pub mod agg;
 pub mod error;
 pub mod expr;
+pub mod fault;
 pub mod ops;
 pub mod optimize;
 pub mod par;
@@ -28,6 +29,7 @@ pub mod stats;
 pub use agg::AggFunc;
 pub use error::{AlgebraError, Result};
 pub use expr::{seed_random, BinOp, Func, ScalarExpr, UnaryOp};
+pub use fault::{fault_hits, inject_ubu_off_by_one, ubu_fault_armed};
 pub use ops::{AntiJoinImpl, JoinKeys, JoinType, MvOrientation, UbuImpl};
 pub use optimize::push_selections;
 pub use plan::{execute, Evaluator, Plan};

@@ -52,12 +52,24 @@ pub struct EngineProfile {
     /// every paper profile) is the serial pipeline the paper measures; `0`
     /// means all available cores. Outputs are deterministic at any setting.
     pub parallelism: usize,
+    /// When set, the PSM runner clones the recursive relation after every
+    /// iteration into `RunStats::snapshots`, letting the differential
+    /// testkit report the *first* iteration where two engines disagree
+    /// rather than just the final rows. Off by default: snapshots cost one
+    /// relation clone per iteration.
+    pub capture_snapshots: bool,
 }
 
 impl EngineProfile {
     /// Builder-style override of the parallelism knob.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Builder-style toggle for per-iteration state snapshots.
+    pub fn with_snapshots(mut self, capture: bool) -> Self {
+        self.capture_snapshots = capture;
         self
     }
 
@@ -78,6 +90,7 @@ pub fn oracle_like() -> EngineProfile {
         build_indexes: false,
         plan_uses_indexes: false,
         parallelism: 1,
+        capture_snapshots: false,
     }
 }
 
@@ -92,6 +105,7 @@ pub fn db2_like() -> EngineProfile {
         build_indexes: false,
         plan_uses_indexes: false,
         parallelism: 1,
+        capture_snapshots: false,
     }
 }
 
@@ -111,6 +125,7 @@ pub fn postgres_like(with_indexes: bool) -> EngineProfile {
         build_indexes: with_indexes,
         plan_uses_indexes: with_indexes,
         parallelism: 1,
+        capture_snapshots: false,
     }
 }
 

@@ -49,4 +49,4 @@ pub mod tc;
 pub mod toposort;
 pub mod wcc;
 
-pub use registry::{by_key, evaluated, AlgoSpec, TABLE2};
+pub use registry::{by_key, evaluated, AlgoSpec, Engine, Equivalence, Tolerance, TABLE2};

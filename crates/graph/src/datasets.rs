@@ -145,14 +145,24 @@ impl DatasetSpec {
         (n, m)
     }
 
-    /// Generate the stand-in at `scale` (deterministic: the seed derives
-    /// from the dataset key).
-    pub fn synthesize(&self, scale: f64) -> Graph {
-        let (n, m) = self.scaled(scale);
-        let seed = self
-            .key
+    /// The seed `synthesize` uses: a stable hash of the dataset key, so a
+    /// replay file can name it explicitly.
+    pub fn default_seed(&self) -> u64 {
+        self.key
             .bytes()
-            .fold(0xA1016u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+            .fold(0xA1016u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
+    }
+
+    /// Generate the stand-in at `scale` (deterministic: the seed derives
+    /// from the dataset key via [`default_seed`](Self::default_seed)).
+    pub fn synthesize(&self, scale: f64) -> Graph {
+        self.synthesize_seeded(scale, self.default_seed())
+    }
+
+    /// Generate the stand-in at `scale` from an explicit seed — the
+    /// bit-reproducible entry point testkit replay files record.
+    pub fn synthesize_seeded(&self, scale: f64, seed: u64) -> Graph {
+        let (n, m) = self.scaled(scale);
         generate(self.kind, n, m, self.directed, seed)
     }
 

@@ -14,6 +14,9 @@ pub mod load;
 pub mod reference;
 
 pub use datasets::{DatasetSpec, DATASETS};
-pub use gen::{generate, GraphKind};
+pub use gen::{
+    citation_dag, disconnected, erdos_renyi, generate, noisy, power_law, CorpusPreset, GraphKind,
+    CORPUS_PRESETS,
+};
 pub use graph::Graph;
 pub use io::{read_edge_list, read_edge_list_file};

@@ -1,0 +1,108 @@
+//! Seeded graph corpora and graph surgery helpers.
+//!
+//! The corpus itself lives in `aio_graph::gen::CORPUS_PRESETS` so that the
+//! replay file format can name `(kind, n, m, directed, seed)` tuples that
+//! anyone can rebuild without this crate. Here we wrap the presets into
+//! named graphs and provide the structural transforms the harness needs.
+
+use aio_graph::{Graph, CORPUS_PRESETS};
+
+/// A corpus graph together with its family name (used in reports).
+#[derive(Clone, Debug)]
+pub struct NamedGraph {
+    pub name: String,
+    pub graph: Graph,
+}
+
+/// Build every corpus preset. Bit-reproducible: same binary, same graphs.
+pub fn corpus_graphs() -> Vec<NamedGraph> {
+    CORPUS_PRESETS
+        .iter()
+        .map(|p| NamedGraph {
+            name: p.name.to_string(),
+            graph: p.build(),
+        })
+        .collect()
+}
+
+/// Rebuild a graph from its *stored* edge representation, preserving the
+/// `directed` flag and node metadata. Used by every transform below so that
+/// undirected (symmetrized) graphs are never symmetrized twice.
+pub fn rebuild(n: usize, stored_edges: &[(u32, u32, f64)], template: &Graph) -> Graph {
+    let mut g = Graph::from_edges(n, stored_edges, true);
+    g.directed = template.directed;
+    g.node_weights = template.node_weights.clone();
+    g.labels = template.labels.clone();
+    if g.node_weights.len() != n {
+        g.node_weights.resize(n, 1.0);
+    }
+    if g.labels.len() != n {
+        g.labels.resize(n, 0);
+    }
+    g
+}
+
+/// Add the spanning cycle `v → (v+1) mod n` wherever that edge is absent.
+///
+/// After augmentation every node has an incoming path of every length,
+/// which makes (a) the SQL'99 Fig. 9 PageRank generation-stable and
+/// (b) the natives' base-initialized iteration comparable to with+'s
+/// zero-initialized one at an offset of one iteration.
+pub fn augment_spanning_cycle(g: &Graph) -> Graph {
+    let n = g.node_count();
+    if n == 0 {
+        return g.clone();
+    }
+    let mut edges: Vec<(u32, u32, f64)> = g.edges().collect();
+    for v in 0..n as u32 {
+        let t = (v + 1) % n as u32;
+        if !g.neighbors(v).contains(&t) {
+            edges.push((v, t, 1.0));
+        }
+    }
+    rebuild(n, &edges, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_reproducible() {
+        let a = corpus_graphs();
+        let b = corpus_graphs();
+        assert!(a.len() >= 5, "need at least five corpus families");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            let ex: Vec<_> = x.graph.edges().collect();
+            let ey: Vec<_> = y.graph.edges().collect();
+            assert_eq!(ex, ey, "{}", x.name);
+            assert_eq!(x.graph.node_weights, y.graph.node_weights);
+            assert_eq!(x.graph.labels, y.graph.labels);
+        }
+    }
+
+    #[test]
+    fn spanning_cycle_gives_everyone_an_in_edge() {
+        for named in corpus_graphs() {
+            let g = augment_spanning_cycle(&named.graph);
+            let mut has_in = vec![false; g.node_count()];
+            for (_, v, _) in g.edges() {
+                has_in[v as usize] = true;
+            }
+            assert!(has_in.iter().all(|&b| b), "{}", named.name);
+            assert_eq!(g.directed, named.graph.directed);
+        }
+    }
+
+    #[test]
+    fn rebuild_preserves_metadata_and_flag() {
+        let named = &corpus_graphs()[0];
+        let edges: Vec<_> = named.graph.edges().collect();
+        let g = rebuild(named.graph.node_count(), &edges, &named.graph);
+        assert_eq!(g.node_weights, named.graph.node_weights);
+        assert_eq!(g.labels, named.graph.labels);
+        assert_eq!(g.directed, named.graph.directed);
+        assert_eq!(g.edge_count(), named.graph.edge_count());
+    }
+}

@@ -1,0 +1,38 @@
+//! # aio-testkit — differential & metamorphic correctness harness
+//!
+//! The paper's central claim is *equivalence*: every Table 2 algorithm
+//! authored in with+ computes the same answer as its native graph-engine
+//! formulation (Section 7) and, where Table 1 says it is expressible, as
+//! SQL'99 `WITH`. This crate turns that claim into an executable test
+//! matrix:
+//!
+//! * [`corpus`] — seeded graph families (Erdős–Rényi, power-law, DAG,
+//!   disconnected, self-loop/multi-edge) rebuilt bit-identically from
+//!   `(kind, n, m, directed, seed)`;
+//! * [`exec`] — one uniform entry point that routes an algorithm key to any
+//!   applicable executor: the with+ PSM under each RDBMS profile ×
+//!   parallelism setting, the SQL'99 baseline, the three native stand-ins,
+//!   and the textbook oracles;
+//! * [`result`] — normalized result values compared under the per-algorithm
+//!   [`Tolerance`](aio_algos::registry::Tolerance) rules (exact for
+//!   set/integer answers, epsilon + rank-order for float scores);
+//! * [`diff`] — the algorithm × engine × parallelism matrix driver, with
+//!   per-iteration divergence localization via PSM state snapshots;
+//! * [`meta`] — metamorphic relations (vertex relabeling, edge-order
+//!   shuffling, isolated-vertex addition);
+//! * [`shrink`] — greedy delta-debugging of a failing graph to a minimal
+//!   counterexample, plus bit-reproducible replay files.
+
+pub mod corpus;
+pub mod diff;
+pub mod exec;
+pub mod meta;
+pub mod result;
+pub mod shrink;
+
+pub use corpus::{corpus_graphs, NamedGraph};
+pub use diff::{run_matrix, Divergence, MatrixConfig, MatrixReport};
+pub use exec::{executors_for, run_algo, ExecKind, Executor, Params};
+pub use meta::{check_metamorphic, MetaRelation, META_ALGOS};
+pub use result::AlgoResult;
+pub use shrink::{shrink, CaseGraph, Replay};

@@ -112,6 +112,7 @@ impl Database {
                     exec: ev.stats,
                     elapsed: start.elapsed(),
                     wal_bytes: 0,
+                    snapshots: Vec::new(),
                 };
                 Ok(QueryResult { relation, stats })
             }

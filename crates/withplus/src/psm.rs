@@ -32,6 +32,11 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Bytes the simulated WAL encoded during the run.
     pub wal_bytes: u64,
+    /// Copy of the recursive relation `R` after each iteration, captured
+    /// only when `EngineProfile::capture_snapshots` is set. The testkit
+    /// compares these across engines to pin the *first* diverging
+    /// iteration instead of only the final answer.
+    pub snapshots: Vec<Relation>,
 }
 
 /// Result of executing a statement.
@@ -414,6 +419,11 @@ impl<'a> PsmRunner<'a> {
                 delta_rows: delta_total,
                 elapsed: it_start.elapsed(),
             });
+            if self.profile.capture_snapshots {
+                self.stats
+                    .snapshots
+                    .push(self.catalog.relation(&c.rec_name)?.clone());
+            }
             if !changed {
                 break; // every C_i is false / fixpoint reached
             }
@@ -483,6 +493,39 @@ select * from TC";
         // from 3: {4} → 6 pairs
         assert_eq!(out.relation.len(), 6);
         assert!(out.stats.iterations.len() >= 2);
+    }
+
+    #[test]
+    fn snapshots_track_every_iteration_when_enabled() {
+        let sql = "\
+with TC(F, T) as (
+  (select E.F, E.T from E)
+  union
+  (select TC.F, E.T from TC, E where TC.T = E.F))
+select * from TC";
+        let Statement::WithPlus(w) = Parser::parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let params = HashMap::new();
+        let ctx = LowerCtx::new(&params, AntiJoinImpl::LeftOuterNull);
+        let c = compile(&w, &ctx).unwrap();
+        let mut cat = catalog();
+        let profile = oracle_like().with_snapshots(true);
+        let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+        let out = runner.run(&c).unwrap();
+        assert_eq!(out.stats.snapshots.len(), out.stats.iterations.len());
+        // per-iteration row counts line up with the IterStats, and the last
+        // snapshot is the fixpoint
+        for (snap, it) in out.stats.snapshots.iter().zip(&out.stats.iterations) {
+            assert_eq!(snap.len(), it.r_rows);
+        }
+        assert_eq!(out.stats.snapshots.last().unwrap().len(), 6);
+        // default profiles pay nothing
+        let mut cat = catalog();
+        let profile = oracle_like();
+        let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+        let out = runner.run(&c).unwrap();
+        assert!(out.stats.snapshots.is_empty());
     }
 
     #[test]
