@@ -23,3 +23,22 @@ smoke)
     ;;
 esac
 cargo clippy --workspace --all-targets -- -D warnings
+
+# trace smoke: EXPLAIN ANALYZE must print an annotated plan and emit
+# schema-valid JSONL (the binary validates and prints "jsonl schema: OK").
+repro_bin="$(pwd)/target/release/repro"
+trace_dir="$(mktemp -d)"
+(cd "$trace_dir" && "$repro_bin" explain pagerank) |
+    tee "$trace_dir/explain.out"
+grep -q "jsonl schema: OK" "$trace_dir/explain.out"
+test -s "$trace_dir/TRACE_pagerank.jsonl"
+test -s "$trace_dir/TRACE_pagerank.json"
+rm -rf "$trace_dir"
+
+if [ "$mode" = full ]; then
+    # zero-cost-when-disabled bar: <2% overhead on a ~1M-edge hash join
+    # (writes BENCH_trace_overhead.json; the binary prints the verdict).
+    overhead_out="$(cargo run --release -p aio-bench --bin repro -- trace_overhead)"
+    echo "$overhead_out"
+    echo "$overhead_out" | grep -q "bar: PASS"
+fi

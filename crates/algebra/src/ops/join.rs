@@ -20,6 +20,35 @@ use crate::expr::ScalarExpr;
 use crate::profile::JoinStrategy;
 use crate::stats::ExecStats;
 use aio_storage::{key_has_null, keys_eq, KeyIndex, Relation, Row, Value};
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Phase breakdown of the most recent [`join_par`] on this thread: build
+/// time (hash-table build, or both sorts for merge joins), probe time
+/// (morsel scan, or the merge pass), and morsel count. The traced evaluator
+/// reads this right after a `Plan::Join` node returns — joins evaluate
+/// their children *before* calling `join_par`, so the last join on the
+/// thread is always the node being closed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinPhases {
+    pub build_ns: u64,
+    pub probe_ns: u64,
+    pub morsels: u64,
+}
+
+thread_local! {
+    static LAST_JOIN: Cell<JoinPhases> = const { Cell::new(JoinPhases { build_ns: 0, probe_ns: 0, morsels: 0 }) };
+}
+
+/// Phase timings of the most recent join on this thread (zeros if the last
+/// join took a nested-loop path, which has no build/probe distinction).
+pub fn last_join_phases() -> JoinPhases {
+    LAST_JOIN.with(|c| c.get())
+}
+
+fn record_phases(p: JoinPhases) {
+    LAST_JOIN.with(|c| c.set(p));
+}
 
 /// Outer-join flavour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +151,7 @@ pub fn join_par(
 ) -> Result<Relation> {
     stats.joins += 1;
     stats.rows_scanned += (left.len() + right.len()) as u64;
+    record_phases(JoinPhases::default());
     let schema = left.schema().join(right.schema());
     let residual = match residual {
         Some(e) => Some(e.bind(&schema)?),
@@ -244,7 +274,9 @@ fn hash_join(
     } else {
         1
     };
+    let build_start = Instant::now();
     let build = KeyIndex::build_partitioned(right, &keys.right, build_parts);
+    let build_ns = build_start.elapsed().as_nanos() as u64;
 
     // Morsel-parallel probe over the left side: each morsel fills its own
     // row buffer (plus, for full joins, its own matched-right bitmap), and
@@ -252,6 +284,7 @@ fn hash_join(
     // scan's, row for row. The probe itself is allocation-free per row.
     let rarity = right.schema().arity();
     let nwords = right.len().div_ceil(64);
+    let probe_start = Instant::now();
     let (bufs, info) = crate::par::run_morsels(left.len(), par, |range| {
         let mut rows: Vec<Row> = Vec::new();
         let mut matched = vec![0u64; if jt == JoinType::Full { nwords } else { 0 }];
@@ -275,6 +308,11 @@ fn hash_join(
         }
         Ok((rows, matched))
     })?;
+    record_phases(JoinPhases {
+        build_ns,
+        probe_ns: probe_start.elapsed().as_nanos() as u64,
+        morsels: info.morsels,
+    });
     stats.note_parallel(&info);
 
     let mut out = Relation::new(schema);
@@ -313,8 +351,11 @@ fn merge_join(
     orders: JoinOrders<'_>,
     stats: &mut ExecStats,
 ) -> Result<Relation> {
+    let build_start = Instant::now();
     let lorder = obtain_order(left, &keys.left, orders.left, stats);
     let rorder = obtain_order(right, &keys.right, orders.right, stats);
+    let build_ns = build_start.elapsed().as_nanos() as u64;
+    let probe_start = Instant::now();
     let lrows = left.rows();
     let rrows = right.rows();
     let mut out = Relation::new(schema);
@@ -395,6 +436,11 @@ fn merge_join(
             }
         }
     }
+    record_phases(JoinPhases {
+        build_ns,
+        probe_ns: probe_start.elapsed().as_nanos() as u64,
+        morsels: 1,
+    });
     Ok(out)
 }
 
@@ -649,6 +695,45 @@ mod tests {
         assert_eq!(s2.sorts, 1);
         assert_eq!(s2.index_scans, 1);
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn join_phases_track_the_last_join_on_this_thread() {
+        let mut s = ExecStats::new();
+        join_on(
+            &edges(),
+            &nodes(),
+            &[("E.T", "V.ID")],
+            JoinType::Inner,
+            JoinStrategy::Hash,
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(last_join_phases().morsels, 1, "serial probe is one morsel");
+        join_on(
+            &edges(),
+            &nodes(),
+            &[("E.T", "V.ID")],
+            JoinType::Inner,
+            JoinStrategy::SortMerge,
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(last_join_phases().morsels, 1);
+        // nested loop (no keys) has no build/probe split: phases reset
+        let keys = JoinKeys { left: vec![], right: vec![] };
+        join(
+            &nodes(),
+            &edges(),
+            &keys,
+            None,
+            JoinType::Inner,
+            JoinStrategy::Hash,
+            JoinOrders::default(),
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(last_join_phases(), JoinPhases::default());
     }
 
     #[test]

@@ -17,5 +17,5 @@ pub use basic::{
     union_all, union_distinct,
 };
 pub use groupby::{group_by, group_by_par, window};
-pub use join::{join, join_on, join_par, JoinKeys, JoinOrders, JoinType};
+pub use join::{join, join_on, join_par, last_join_phases, JoinKeys, JoinOrders, JoinPhases, JoinType};
 pub use union_by_update::{union_by_update, UbuImpl};

@@ -172,11 +172,43 @@ impl Plan {
     }
 }
 
+/// The span name and short label for each operator, used by the traced
+/// evaluator and the EXPLAIN renderer. The name doubles as the span name,
+/// so it must be `'static`.
+pub fn op_name(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan { .. } => "scan",
+        Plan::Values(_) => "values",
+        Plan::Select { .. } => "select",
+        Plan::Project { .. } => "project",
+        Plan::Aggregate { .. } => "aggregate",
+        Plan::Window { .. } => "window",
+        Plan::Distinct(_) => "distinct",
+        Plan::Join { .. } => "join",
+        Plan::Product { .. } => "product",
+        Plan::UnionAll { .. } => "union_all",
+        Plan::Union { .. } => "union",
+        Plan::Difference { .. } => "difference",
+        Plan::AntiJoin { .. } => "anti_join",
+        Plan::SemiJoin { .. } => "semi_join",
+    }
+}
+
 /// Executes [`Plan`]s against a catalog under a profile.
+///
+/// With a tracer attached ([`Evaluator::with_tracer`]) every operator
+/// invocation opens one span named by [`op_name`], carrying the node's
+/// pre-order id (`node`), output cardinality (`rows_out`), and — for joins —
+/// build/probe phase timings and the morsel count. Node ids are assigned in
+/// the same pre-order that [`crate::explain`] walks, which is how EXPLAIN
+/// ANALYZE correlates spans back to plan nodes. Without a tracer the only
+/// extra cost per node is one `Option` branch.
 pub struct Evaluator<'a> {
     pub catalog: &'a Catalog,
     pub profile: &'a EngineProfile,
     pub stats: ExecStats,
+    tracer: Option<&'a aio_trace::Tracer>,
+    node_seq: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -185,7 +217,20 @@ impl<'a> Evaluator<'a> {
             catalog,
             profile,
             stats: ExecStats::new(),
+            tracer: None,
+            node_seq: 0,
         }
+    }
+
+    /// An evaluator that records one span per operator invocation.
+    pub fn with_tracer(
+        catalog: &'a Catalog,
+        profile: &'a EngineProfile,
+        tracer: Option<&'a aio_trace::Tracer>,
+    ) -> Self {
+        let mut ev = Evaluator::new(catalog, profile);
+        ev.tracer = tracer;
+        ev
     }
 
     /// Worker threads per the profile's parallelism knob (resolved).
@@ -193,7 +238,40 @@ impl<'a> Evaluator<'a> {
         self.profile.effective_parallelism()
     }
 
+    /// Evaluate a plan from its root, restarting pre-order node numbering
+    /// at 0 so repeated executions of the same plan produce spans with
+    /// identical `node` ids (EXPLAIN aggregates across invocations by id).
+    pub fn eval_root(&mut self, plan: &Plan) -> Result<Relation> {
+        self.node_seq = 0;
+        self.eval(plan)
+    }
+
     pub fn eval(&mut self, plan: &Plan) -> Result<Relation> {
+        let Some(t) = self.tracer else {
+            return self.eval_node(plan);
+        };
+        let node = self.node_seq;
+        self.node_seq += 1;
+        let span = t.span(op_name(plan));
+        span.field("node", node);
+        if let Plan::Scan { table, alias } = plan {
+            span.field("table", table.as_str());
+            if let Some(a) = alias {
+                span.field("alias", a.as_str());
+            }
+        }
+        let out = self.eval_node(plan)?;
+        span.field("rows_out", out.len() as u64);
+        if matches!(plan, Plan::Join { .. }) {
+            let ph = ops::last_join_phases();
+            span.field("morsels", ph.morsels);
+            span.field("build_ns", ph.build_ns);
+            span.field("probe_ns", ph.probe_ns);
+        }
+        Ok(out)
+    }
+
+    fn eval_node(&mut self, plan: &Plan) -> Result<Relation> {
         match plan {
             Plan::Scan { table, alias } => {
                 let rel = self.catalog.relation(table)?;
@@ -358,7 +436,19 @@ pub fn execute(
     profile: &EngineProfile,
 ) -> Result<(Relation, ExecStats)> {
     let mut ev = Evaluator::new(catalog, profile);
-    let rel = ev.eval(plan)?;
+    let rel = ev.eval_root(plan)?;
+    Ok((rel, ev.stats))
+}
+
+/// [`execute`] with an optional tracer recording one span per operator.
+pub fn execute_traced(
+    plan: &Plan,
+    catalog: &Catalog,
+    profile: &EngineProfile,
+    tracer: Option<&aio_trace::Tracer>,
+) -> Result<(Relation, ExecStats)> {
+    let mut ev = Evaluator::with_tracer(catalog, profile, tracer);
+    let rel = ev.eval_root(plan)?;
     Ok((rel, ev.stats))
 }
 

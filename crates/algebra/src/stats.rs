@@ -6,6 +6,8 @@
 //! quantities (e.g. PR = 1 MV-join + 1 union-by-update per iteration, HITS =
 //! 2 MV-joins + 1 θ-join + 1 aggregation + 1 union-by-update).
 
+use std::fmt;
+
 /// Counters accumulated over one execution (query or whole PSM run).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
@@ -58,9 +60,64 @@ impl ExecStats {
         }
     }
 
-    /// One-line summary for harness output.
+    /// Counters accumulated here but not in `earlier` (field-wise
+    /// subtraction; `earlier` must be a previous snapshot of this block).
+    /// This is how the PSM runner attributes stats to single iterations.
+    pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            rows_scanned: self.rows_scanned.saturating_sub(earlier.rows_scanned),
+            rows_produced: self.rows_produced.saturating_sub(earlier.rows_produced),
+            joins: self.joins.saturating_sub(earlier.joins),
+            aggregations: self.aggregations.saturating_sub(earlier.aggregations),
+            anti_joins: self.anti_joins.saturating_sub(earlier.anti_joins),
+            union_by_updates: self.union_by_updates.saturating_sub(earlier.union_by_updates),
+            sorts: self.sorts.saturating_sub(earlier.sorts),
+            index_scans: self.index_scans.saturating_sub(earlier.index_scans),
+            parallel_ops: self.parallel_ops.saturating_sub(earlier.parallel_ops),
+            morsels: self.morsels.saturating_sub(earlier.morsels),
+        }
+    }
+
+    /// The counters as `(key, value)` pairs, in display order. Single source
+    /// of truth for [`fmt::Display`] and [`ExecStats::to_json`].
+    pub fn entries(&self) -> [(&'static str, u64); 10] {
+        [
+            ("rows_scanned", self.rows_scanned),
+            ("rows_produced", self.rows_produced),
+            ("joins", self.joins),
+            ("aggregations", self.aggregations),
+            ("anti_joins", self.anti_joins),
+            ("union_by_updates", self.union_by_updates),
+            ("sorts", self.sorts),
+            ("index_scans", self.index_scans),
+            ("parallel_ops", self.parallel_ops),
+            ("morsels", self.morsels),
+        ]
+    }
+
+    /// One-line summary for harness output (same text as `format!("{self}")`).
     pub fn summary(&self) -> String {
-        format!(
+        self.to_string()
+    }
+
+    /// JSON object with one key per counter, in [`ExecStats::entries`] order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.entries().into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": {v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
             "scanned={} produced={} joins={} aggs={} anti={} ubu={} sorts={} idx_scans={} par_ops={} morsels={}",
             self.rows_scanned,
             self.rows_produced,
@@ -104,5 +161,55 @@ mod tests {
         for key in ["joins", "aggs", "ubu", "sorts"] {
             assert!(s.contains(key));
         }
+    }
+
+    #[test]
+    fn display_matches_summary() {
+        let s = ExecStats {
+            joins: 4,
+            morsels: 7,
+            ..Default::default()
+        };
+        assert_eq!(s.summary(), format!("{s}"));
+        assert!(format!("{s}").contains("joins=4"));
+    }
+
+    #[test]
+    fn to_json_has_every_counter() {
+        let s = ExecStats {
+            rows_scanned: 5,
+            union_by_updates: 2,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for (k, v) in s.entries() {
+            assert!(j.contains(&format!("\"{k}\": {v}")), "{j}");
+        }
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise() {
+        let mut total = ExecStats {
+            joins: 1,
+            rows_produced: 10,
+            ..Default::default()
+        };
+        let snap = total.clone();
+        total.absorb(&ExecStats {
+            joins: 2,
+            sorts: 1,
+            rows_produced: 5,
+            ..Default::default()
+        });
+        let d = total.delta_since(&snap);
+        assert_eq!(d.joins, 2);
+        assert_eq!(d.sorts, 1);
+        assert_eq!(d.rows_produced, 5);
+        assert_eq!(d.rows_scanned, 0);
+        // snapshot + delta = total
+        let mut back = snap.clone();
+        back.absorb(&d);
+        assert_eq!(back, total);
     }
 }

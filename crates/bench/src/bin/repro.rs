@@ -2,12 +2,20 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--scale S]
+//! repro explain <algo> [--scale S]
 //!
 //! EXPERIMENT: table1 table2 table3 table4_5 table6_7
 //!             fig7 fig8 fig10 fig11 fig12 fig13 | all (default: all)
 //!             scaling (morsel-parallel operator scaling; not part of `all`,
 //!             emits BENCH_scaling.json; --scale is relative to 1M edges and
 //!             defaults to 1.0 for this experiment)
+//!             trace_overhead (tracing zero-cost check on a ~1M-edge hash
+//!             join; not part of `all`, emits BENCH_trace_overhead.json;
+//!             --scale is relative to 1M edges and defaults to 1.0)
+//! explain <algo> : EXPLAIN ANALYZE one algorithm (pagerank | tc | sssp |
+//!             wcc) — prints the annotated plan tree + per-iteration
+//!             convergence and writes TRACE_<algo>.json (Perfetto) and
+//!             TRACE_<algo>.jsonl
 //! --scale S : dataset scale factor relative to the published sizes
 //!             (default 0.001; 1.0 = the full SNAP sizes)
 //! ```
@@ -38,6 +46,14 @@ fn main() {
         picks.push("all".to_string());
     }
 
+    // `repro explain <algo>`: the algorithm name is a positional operand,
+    // not an experiment of its own.
+    if picks[0] == "explain" {
+        let algo = picks.get(1).map(String::as_str).unwrap_or("pagerank");
+        print!("{}", exp::explain(algo, if scale_given { scale } else { 0.001 }));
+        return;
+    }
+
     let all = [
         "table1", "table2", "table3", "table4_5", "table6_7", "fig7", "fig8", "fig10",
         "fig11", "fig12", "fig13",
@@ -64,8 +80,9 @@ fn main() {
             "fig11" => exp::fig11(scale),
             "fig12" => exp::fig12(scale),
             "fig13" => exp::fig13(scale),
-            // scaling's --scale is relative to the 1M-edge reference size
+            // scaling's / trace_overhead's --scale is relative to 1M edges
             "scaling" => exp::scaling(if scale_given { scale } else { 1.0 }),
+            "trace_overhead" => exp::trace_overhead(if scale_given { scale } else { 1.0 }),
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;
@@ -86,7 +103,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S]\n\
-         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling"
+         \x20      repro explain <pagerank|tc|sssp|wcc> [--scale S]\n\
+         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -5,11 +5,11 @@
 use crate::runner::{run_algo, FIG7_ALGOS, FIG8_ALGOS, FIXED_ITERS};
 use crate::{ms, TextTable};
 use aio_algebra::ops::{
-    group_by_par, join_par, AntiJoinImpl, JoinKeys, JoinOrders, JoinType, UbuImpl,
+    group_by_par, join_par, rename, AntiJoinImpl, JoinKeys, JoinOrders, JoinType, UbuImpl,
 };
 use aio_algebra::{
-    all_profiles, oracle_like, postgres_like, AggFunc, AggStrategy, ExecStats, JoinStrategy,
-    ScalarExpr,
+    all_profiles, execute_traced, oracle_like, postgres_like, AggFunc, AggStrategy, ExecStats,
+    JoinStrategy, Plan, ScalarExpr,
 };
 use aio_algos as algos;
 use aio_algos::common::{db_for, EdgeStyle};
@@ -539,6 +539,197 @@ pub fn scaling(scale: f64) -> String {
         e.len(),
         v.len(),
         t.render()
+    )
+}
+
+/// `repro explain <algo>` — run the algorithm's with+ program with tracing
+/// on, print the EXPLAIN ANALYZE report (annotated plan tree + per-iteration
+/// convergence), and export the trace twice: `TRACE_<algo>.json`
+/// (Chrome/Perfetto-loadable) and `TRACE_<algo>.jsonl` (schema-checked).
+pub fn explain(algo: &str, scale: f64) -> String {
+    match explain_inner(algo, scale) {
+        Ok(s) => s,
+        Err(e) => format!("explain {algo} failed: {e}"),
+    }
+}
+
+fn explain_inner(algo: &str, scale: f64) -> Result<String> {
+    let edges = ((2.0e5 * scale) as usize).clamp(150, 200_000);
+    let nodes = (edges / 5).max(20);
+    let g = aio_graph::generate(aio_graph::GraphKind::PowerLaw, nodes, edges, true, 7);
+    let key = algo.to_ascii_lowercase();
+    let (mut db, sql) = match key.as_str() {
+        "pr" | "pagerank" => {
+            let mut db = db_for(&g, &oracle_like(), EdgeStyle::PageRank)?;
+            db.set_param("c", 0.85);
+            db.set_param("n", g.node_count() as f64);
+            (db, algos::pagerank::sql(10))
+        }
+        "tc" => {
+            let db = db_for(&g, &oracle_like(), EdgeStyle::Raw)?;
+            (db, algos::tc::sql(16))
+        }
+        "sssp" => {
+            let mut db = db_for(&g, &oracle_like(), EdgeStyle::WithLoops(0.0))?;
+            for row in db.catalog.relation_mut("V")?.rows_mut() {
+                let seed = if row[0].as_int() == Some(0) { 0.0 } else { f64::INFINITY };
+                row[1] = seed.into();
+            }
+            (db, algos::sssp::SQL.to_string())
+        }
+        "wcc" => {
+            let db = db_for(&g, &oracle_like(), EdgeStyle::WithLoops(1.0))?;
+            (db, algos::wcc::SQL.to_string())
+        }
+        other => {
+            return Ok(format!(
+                "explain: unknown algorithm {other} (supported: pagerank tc sssp wcc)"
+            ))
+        }
+    };
+
+    let out = db.explain_analyze(&sql)?;
+    let jsonl = out.trace.to_jsonl();
+    let perfetto = out.trace.to_chrome_json();
+    let mut notes = vec![match aio_trace::json::validate_trace_jsonl(&jsonl) {
+        Ok(n) => format!("jsonl schema: OK ({n} records)"),
+        Err(e) => format!("jsonl schema: FAILED ({e})"),
+    }];
+    for (path, content) in [
+        (format!("TRACE_{key}.jsonl"), &jsonl),
+        (format!("TRACE_{key}.json"), &perfetto),
+    ] {
+        notes.push(match std::fs::write(&path, content) {
+            Ok(()) => format!("wrote {path}"),
+            Err(err) => format!("could not write {path}: {err}"),
+        });
+    }
+    Ok(format!(
+        "{}\ngraph: {} nodes, {} edges — result: {} rows, {} spans recorded\n{}\n\
+         (load TRACE_{key}.json at https://ui.perfetto.dev or chrome://tracing)\n",
+        out.report,
+        nodes,
+        db.catalog.relation("E")?.len(),
+        out.result.relation.len(),
+        out.trace.spans.len(),
+        notes.join("\n"),
+    ))
+}
+
+/// The tentpole's zero-cost check: a hash join over a ~1M-edge relation
+/// measured three ways — the bare `join_par` operator (plus the scan-side
+/// renames the evaluator also performs, so all three configurations do
+/// identical relational work), the evaluator with tracing *disabled*
+/// (`tracer = None`, the one extra branch per node), and the evaluator with
+/// tracing *enabled*. `scale` is relative to 1M edges. Writes
+/// `BENCH_trace_overhead.json`; the acceptance bar is
+/// `overhead_disabled_pct < 2`.
+pub fn trace_overhead(scale: f64) -> String {
+    let edges = ((1.0e6 * scale) as usize).max(10_000);
+    let nodes = (edges / 10).max(100);
+    let g = aio_graph::generate(aio_graph::GraphKind::PowerLaw, nodes, edges, true, 47);
+    let mut catalog = aio_storage::Catalog::new();
+    catalog
+        .create_table("E", aio_graph::load::edge_relation(&g))
+        .expect("create E");
+    catalog
+        .create_table("V", aio_graph::load::node_relation(&g))
+        .expect("create V");
+    let profile = oracle_like();
+    let par = profile.effective_parallelism();
+    let on = vec![("T".to_string(), "ID".to_string())];
+    let plan = Plan::Join {
+        left: Box::new(Plan::scan("E")),
+        right: Box::new(Plan::scan("V")),
+        on: on.clone(),
+        residual: None,
+        kind: JoinType::Inner,
+    };
+
+    // Interleave the three configurations (after one untimed warm-up round)
+    // rather than running each as a block: otherwise the first configuration
+    // pays all the allocator-arena growth and the later ones look faster
+    // than the baseline for reasons that have nothing to do with tracing.
+    let reps = 5usize;
+    let mut baseline = (f64::INFINITY, 0usize);
+    let mut disabled = (f64::INFINITY, 0usize);
+    let mut enabled = (f64::INFINITY, 0usize);
+    let mut disabled_stats = ExecStats::new();
+    let mut spans = 0usize;
+    fn timed(slot: &mut (f64, usize), warm: bool, op: &mut dyn FnMut() -> usize) {
+        let t0 = Instant::now();
+        let rows = op();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if !warm {
+            slot.0 = slot.0.min(ms);
+        }
+        slot.1 = rows;
+    }
+    for rep in 0..=reps {
+        let warm = rep == 0;
+        timed(&mut baseline, warm, &mut || {
+            let e = rename(catalog.relation("E").expect("E"), "E");
+            let v = rename(catalog.relation("V").expect("V"), "V");
+            let keys = JoinKeys::resolve(&e, &v, &on).expect("keys");
+            let mut s = ExecStats::new();
+            join_par(
+                &e,
+                &v,
+                &keys,
+                None,
+                JoinType::Inner,
+                JoinStrategy::Hash,
+                JoinOrders::default(),
+                par,
+                &mut s,
+            )
+            .expect("baseline join")
+            .len()
+        });
+        timed(&mut disabled, warm, &mut || {
+            let (rel, s) = execute_traced(&plan, &catalog, &profile, None).expect("disabled run");
+            disabled_stats = s;
+            rel.len()
+        });
+        timed(&mut enabled, warm, &mut || {
+            let tracer = aio_trace::Tracer::new();
+            let (rel, _) =
+                execute_traced(&plan, &catalog, &profile, Some(&tracer)).expect("enabled run");
+            spans = tracer.finish().spans.len();
+            rel.len()
+        });
+    }
+    let (baseline_ms, base_rows) = baseline;
+    let (disabled_ms, disabled_rows) = disabled;
+    let (enabled_ms, enabled_rows) = enabled;
+    assert_eq!(base_rows, disabled_rows);
+    assert_eq!(base_rows, enabled_rows);
+
+    let pct = |a: f64, b: f64| if b > 0.0 { (a - b) / b * 100.0 } else { 0.0 };
+    let overhead_disabled = pct(disabled_ms, baseline_ms);
+    let overhead_enabled = pct(enabled_ms, baseline_ms);
+    let verdict = if overhead_disabled < 2.0 { "PASS" } else { "FAIL" };
+
+    let json = format!(
+        "{{\n  \"experiment\": \"trace_overhead\",\n  \"edges\": {edges},\n  \"nodes\": {nodes},\n  \
+         \"reps\": {reps},\n  \"parallelism\": {par},\n  \"out_rows\": {base_rows},\n  \
+         \"baseline_ms\": {baseline_ms:.3},\n  \"disabled_ms\": {disabled_ms:.3},\n  \
+         \"enabled_ms\": {enabled_ms:.3},\n  \"overhead_disabled_pct\": {overhead_disabled:.3},\n  \
+         \"overhead_enabled_pct\": {overhead_enabled:.3},\n  \"spans_when_enabled\": {spans},\n  \
+         \"threshold_pct\": 2.0,\n  \"verdict\": \"{verdict}\",\n  \"disabled_stats\": {}\n}}\n",
+        disabled_stats.to_json(),
+    );
+    let json_note = match std::fs::write("BENCH_trace_overhead.json", &json) {
+        Ok(()) => "results written to BENCH_trace_overhead.json".to_string(),
+        Err(err) => format!("could not write BENCH_trace_overhead.json: {err}"),
+    };
+
+    format!(
+        "Trace overhead — hash join E({edges}) ⋈ V({nodes}), best of {reps}\n\n\
+         baseline (bare join_par) : {baseline_ms:>8.1} ms\n\
+         tracing disabled         : {disabled_ms:>8.1} ms  ({overhead_disabled:+.2}%)\n\
+         tracing enabled          : {enabled_ms:>8.1} ms  ({overhead_enabled:+.2}%, {spans} spans)\n\n\
+         disabled-tracing overhead vs the <2% bar: {verdict}. {json_note}\n"
     )
 }
 

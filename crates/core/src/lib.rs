@@ -15,7 +15,9 @@
 //!   baseline with the Table 1 feature matrix;
 //! * [`graph`] — CSR graphs, synthetic stand-ins for the paper's nine SNAP
 //!   datasets, and native comparator engines;
-//! * [`algos`] — the paper's graph algorithms as with+ programs.
+//! * [`algos`] — the paper's graph algorithms as with+ programs;
+//! * [`trace`] — hierarchical spans, per-iteration fixpoint telemetry and
+//!   EXPLAIN ANALYZE plumbing shared by every execution engine.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use aio_algos as algos;
 pub use aio_datalog as datalog;
 pub use aio_graph as graph;
 pub use aio_storage as storage;
+pub use aio_trace as trace;
 pub use aio_withplus as withplus;
 
 /// The set of names most programs want in scope.
@@ -55,7 +58,8 @@ pub mod prelude {
     };
     pub use aio_graph::{generate, DatasetSpec, Graph, GraphKind, DATASETS};
     pub use aio_storage::{edge_schema, node_schema, row, Relation, Schema, Value};
-    pub use aio_withplus::{Database, QueryResult, RunStats, WithPlusError};
+    pub use aio_trace::{Trace, Tracer};
+    pub use aio_withplus::{Database, ExplainOutput, QueryResult, RunStats, WithPlusError};
 }
 
 #[cfg(test)]

@@ -10,10 +10,24 @@
 //! uppercase letter is a variable, anything else parses as a constant.
 
 use crate::rule::{Program, Rule};
+use aio_trace::Tracer;
 use std::collections::{HashMap, HashSet};
 
 type Tuple = Vec<i64>;
 type RelSet = HashSet<Tuple>;
+
+/// What one semi-naive round did (round 0 is the naive seeding pass; the
+/// positive engine is single-stratum, so per-stratum deltas coincide with
+/// these per-round deltas).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundStat {
+    /// Facts derived this round, duplicates included.
+    pub derivations: u64,
+    /// Tuples that were actually new (the round's total delta).
+    pub new_tuples: usize,
+    /// Per-predicate delta sizes, sorted by predicate name.
+    pub delta_sizes: Vec<(String, usize)>,
+}
 
 /// Bottom-up evaluation state.
 #[derive(Debug, Default)]
@@ -23,6 +37,8 @@ pub struct SemiNaive {
     pub iterations: usize,
     /// Facts derived (including duplicates suppressed), for cost reporting.
     pub derivations: u64,
+    /// Per-round telemetry of the last `run` (index 0 = the seeding round).
+    pub rounds: Vec<RoundStat>,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -118,14 +134,55 @@ impl SemiNaive {
             .collect()
     }
 
+    /// Summarize a round's delta and optionally record its span.
+    fn close_round(
+        &mut self,
+        round: usize,
+        derivations_before: u64,
+        delta: &HashMap<String, RelSet>,
+        tracer: Option<&Tracer>,
+    ) {
+        let mut delta_sizes: Vec<(String, usize)> =
+            delta.iter().map(|(p, s)| (p.clone(), s.len())).collect();
+        delta_sizes.sort();
+        let stat = RoundStat {
+            derivations: self.derivations - derivations_before,
+            new_tuples: delta_sizes.iter().map(|(_, n)| n).sum(),
+            delta_sizes,
+        };
+        if let Some(t) = tracer {
+            let span = t.span("dl_round");
+            span.field("round", round as u64);
+            span.field("derivations", stat.derivations);
+            span.field("new_tuples", stat.new_tuples as u64);
+            for (pred, n) in &stat.delta_sizes {
+                span.field(format!("delta.{pred}"), *n as u64);
+            }
+        }
+        self.rounds.push(stat);
+    }
+
     /// Run the program to fixpoint using semi-naive iteration; returns the
     /// sizes of each IDB relation.
     pub fn run(&mut self, program: &Program, max_iterations: usize) -> HashMap<String, usize> {
+        self.run_traced(program, max_iterations, None)
+    }
+
+    /// [`SemiNaive::run`] recording one `dl_round` span per round, carrying
+    /// the round's per-predicate delta sizes.
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        max_iterations: usize,
+        tracer: Option<&Tracer>,
+    ) -> HashMap<String, usize> {
+        self.rounds.clear();
         let idb = program.idb_predicates();
         for p in &idb {
             self.rels.entry(p.clone()).or_default();
         }
         // Round 0: naive evaluation of every rule seeds the deltas.
+        let derivations_before = self.derivations;
         let mut delta: HashMap<String, RelSet> = HashMap::new();
         for rule in &program.rules {
             for t in self.eval_rule(rule, &HashMap::new(), None) {
@@ -135,9 +192,11 @@ impl SemiNaive {
                 }
             }
         }
+        self.close_round(0, derivations_before, &delta, tracer);
         self.iterations = 0;
         while !delta.is_empty() && self.iterations < max_iterations {
             self.iterations += 1;
+            let derivations_before = self.derivations;
             let mut next_delta: HashMap<String, RelSet> = HashMap::new();
             for rule in &program.rules {
                 for (i, atom) in rule.body.iter().enumerate() {
@@ -161,6 +220,7 @@ impl SemiNaive {
                 }
             }
             delta = next_delta;
+            self.close_round(self.iterations, derivations_before, &delta, tracer);
         }
         idb.iter()
             .map(|p| (p.clone(), self.rels[p].len()))
@@ -233,6 +293,47 @@ mod tests {
         ev.add_facts("e", vec![vec![1, 1], vec![1, 2]]);
         let sizes = ev.run(&p, 10);
         assert_eq!(sizes["loop"], 1);
+    }
+
+    #[test]
+    fn rounds_record_per_round_deltas() {
+        let mut ev = SemiNaive::new();
+        ev.add_facts("e", (1..5).map(|i| vec![i, i + 1]));
+        let tracer = aio_trace::Tracer::new();
+        let sizes = ev.run_traced(&tc_program(), 100, Some(&tracer));
+        assert_eq!(sizes["tc"], 10);
+        // Path 1→2→3→4→5: round 0's naive pass seeds the 4 edges and,
+        // because rules run in order, the 3 length-2 paths too; the delta
+        // then shrinks to 2, 1, and an empty round proving the fixpoint.
+        let new: Vec<usize> = ev.rounds.iter().map(|r| r.new_tuples).collect();
+        assert_eq!(new, vec![7, 2, 1, 0]);
+        assert_eq!(
+            new.iter().sum::<usize>(),
+            sizes["tc"],
+            "per-round deltas partition the fixpoint"
+        );
+        let trace = tracer.finish();
+        trace.validate().unwrap();
+        let spans: Vec<_> = trace.spans_named("dl_round").collect();
+        assert_eq!(spans.len(), ev.rounds.len());
+        assert_eq!(spans[1].field_u64("round"), Some(1));
+        assert_eq!(spans[1].field_u64("new_tuples"), Some(2));
+        assert_eq!(spans[1].field_u64("delta.tc"), Some(2));
+    }
+
+    #[test]
+    fn untraced_run_records_rounds_too() {
+        let mut ev = SemiNaive::new();
+        ev.add_facts("e", vec![vec![1, 2], vec![2, 3], vec![3, 1]]);
+        ev.run(&tc_program(), 100);
+        assert!(!ev.rounds.is_empty());
+        assert_eq!(
+            ev.rounds.iter().map(|r| r.new_tuples).sum::<usize>(),
+            9,
+            "3-cycle closure has 9 tuples"
+        );
+        assert_eq!(ev.rounds.last().unwrap().new_tuples, 0);
+        assert!(ev.rounds.iter().all(|r| r.derivations >= r.new_tuples as u64));
     }
 
     #[test]

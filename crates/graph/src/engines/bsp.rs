@@ -6,6 +6,7 @@
 //! that makes Giraph the slower native system in Fig. 11.
 
 use crate::graph::Graph;
+use aio_trace::Tracer;
 
 /// A message in flight.
 #[derive(Clone, Debug)]
@@ -33,11 +34,18 @@ pub trait VertexProgram {
 /// The BSP scheduler.
 pub struct Bsp<'g> {
     g: &'g Graph,
+    tracer: Option<&'g Tracer>,
 }
 
 impl<'g> Bsp<'g> {
     pub fn new(g: &'g Graph) -> Self {
-        Bsp { g }
+        Bsp { g, tracer: None }
+    }
+
+    /// Record one `superstep` span per superstep (active-vertex and
+    /// message counts) on `tracer`.
+    pub fn set_tracer(&mut self, tracer: &'g Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Run to global halt (all voted and no messages) or `max_supersteps`.
@@ -55,15 +63,19 @@ impl<'g> Bsp<'g> {
         let mut active = vec![true; n];
         let mut steps = 0;
         for superstep in 0..max_supersteps {
+            let span = aio_trace::maybe_span(self.tracer, "superstep");
+            if let Some(s) = &span {
+                s.field("superstep", superstep as u64);
+            }
             let mut outgoing: Vec<Message> = Vec::new();
-            let mut any_active = false;
+            let mut active_vertices: u64 = 0;
             let mut out_buf: Vec<Message> = Vec::new();
             for v in 0..n as u32 {
                 let has_msgs = !inbox[v as usize].is_empty();
                 if !active[v as usize] && !has_msgs {
                     continue;
                 }
-                any_active = true;
+                active_vertices += 1;
                 out_buf.clear();
                 let (nv, halt) = program.compute(
                     v,
@@ -80,7 +92,11 @@ impl<'g> Bsp<'g> {
             for b in inbox.iter_mut() {
                 b.clear();
             }
-            if !any_active {
+            if let Some(s) = &span {
+                s.field("active_vertices", active_vertices);
+                s.field("messages_sent", outgoing.len() as u64);
+            }
+            if active_vertices == 0 {
                 break;
             }
             steps = superstep + 1;
@@ -167,7 +183,10 @@ impl<'g> Bsp<'g> {
         }
         // flood over the symmetrized graph for weak connectivity
         let sym = symmetrize(self.g);
-        let bsp = Bsp::new(&sym);
+        let mut bsp = Bsp::new(&sym);
+        if let Some(t) = self.tracer {
+            bsp.set_tracer(t);
+        }
         let init: Vec<f64> = (0..sym.node_count()).map(|v| v as f64).collect();
         let (vals, _) = bsp.run(&Wcc, init, sym.node_count() + 2);
         vals.into_iter().map(|v| v as u32).collect()
@@ -248,6 +267,40 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-9, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn supersteps_trace_active_vertices() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)], true);
+        let tracer = aio_trace::Tracer::new();
+        let mut bsp = Bsp::new(&g);
+        bsp.set_tracer(&tracer);
+        let d = bsp.sssp(0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+        let trace = tracer.finish();
+        trace.validate().unwrap();
+        let steps: Vec<_> = trace.spans_named("superstep").collect();
+        assert_eq!(steps.len(), 4, "one wavefront superstep per path hop");
+        // superstep 0: every vertex is initially active
+        assert_eq!(steps[0].field_u64("active_vertices"), Some(4));
+        assert_eq!(steps[0].field_u64("messages_sent"), Some(1));
+        // later supersteps: only the message-woken wavefront computes
+        assert_eq!(steps[1].field_u64("active_vertices"), Some(1));
+        assert_eq!(steps[1].field_u64("messages_sent"), Some(1));
+        // the run goes quiet: the sink relaxes but sends nothing onward
+        assert_eq!(steps.last().unwrap().field_u64("messages_sent"), Some(0));
+    }
+
+    #[test]
+    fn wcc_threads_tracer_through_symmetrized_run() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)], true);
+        let tracer = aio_trace::Tracer::new();
+        let mut bsp = Bsp::new(&g);
+        bsp.set_tracer(&tracer);
+        let labels = bsp.wcc();
+        assert_eq!(labels, vec![0, 0, 0]);
+        let trace = tracer.finish();
+        assert!(trace.spans_named("superstep").next().is_some());
     }
 
     #[test]

@@ -9,12 +9,14 @@
 
 use crate::graph::Graph;
 use aio_storage::FxHashMap;
+use aio_trace::Tracer;
 
 pub struct DatalogEngine<'g> {
     g: &'g Graph,
     /// edge(F → [(T, w)]) as a hash relation (the SociaLite storage model)
     edge: FxHashMap<u32, Vec<(u32, f64)>>,
     redge: FxHashMap<u32, Vec<(u32, f64)>>,
+    tracer: Option<&'g Tracer>,
 }
 
 impl<'g> DatalogEngine<'g> {
@@ -25,7 +27,18 @@ impl<'g> DatalogEngine<'g> {
             edge.entry(u).or_default().push((v, w));
             redge.entry(v).or_default().push((u, w));
         }
-        DatalogEngine { g, edge, redge }
+        DatalogEngine {
+            g,
+            edge,
+            redge,
+            tracer: None,
+        }
+    }
+
+    /// Record one `dl_round` span per semi-naive round (delta sizes) on
+    /// `tracer`.
+    pub fn set_tracer(&mut self, tracer: &'g Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// `dist(v, min d)` with the monotonic `min` aggregate:
@@ -35,7 +48,14 @@ impl<'g> DatalogEngine<'g> {
         let mut dist: FxHashMap<u32, f64> = FxHashMap::default();
         dist.insert(src, 0.0);
         let mut delta: Vec<(u32, f64)> = vec![(src, 0.0)];
+        let mut round = 0u64;
         while !delta.is_empty() {
+            let span = aio_trace::maybe_span(self.tracer, "dl_round");
+            if let Some(s) = &span {
+                s.field("round", round);
+                s.field("delta_tuples", delta.len() as u64);
+            }
+            round += 1;
             let mut next: FxHashMap<u32, f64> = FxHashMap::default();
             for &(f, d) in &delta {
                 if let Some(out) = self.edge.get(&f) {
@@ -64,7 +84,14 @@ impl<'g> DatalogEngine<'g> {
         let n = self.g.node_count();
         let mut label: FxHashMap<u32, u32> = (0..n as u32).map(|v| (v, v)).collect();
         let mut delta: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, v)).collect();
+        let mut round = 0u64;
         while !delta.is_empty() {
+            let span = aio_trace::maybe_span(self.tracer, "dl_round");
+            if let Some(s) = &span {
+                s.field("round", round);
+                s.field("delta_tuples", delta.len() as u64);
+            }
+            round += 1;
             let mut next: FxHashMap<u32, u32> = FxHashMap::default();
             for &(v, l) in &delta {
                 for dir in [&self.edge, &self.redge] {
@@ -93,7 +120,12 @@ impl<'g> DatalogEngine<'g> {
         let n = self.g.node_count();
         let base = (1.0 - c) / n as f64;
         let mut rank: FxHashMap<u32, f64> = (0..n as u32).map(|v| (v, base)).collect();
-        for _ in 0..iters {
+        for iter in 0..iters {
+            let span = aio_trace::maybe_span(self.tracer, "dl_round");
+            if let Some(s) = &span {
+                s.field("round", iter as u64);
+                s.field("delta_tuples", n as u64); // non-monotonic: full relation each round
+            }
             let mut sums: FxHashMap<u32, f64> = FxHashMap::default();
             for (&f, out) in &self.edge {
                 let rf = rank[&f];
@@ -126,6 +158,28 @@ mod tests {
     fn wcc_matches_reference() {
         let g = generate(GraphKind::Uniform, 250, 400, false, 42);
         assert_eq!(DatalogEngine::new(&g).wcc(), reference::wcc_min_label(&g));
+    }
+
+    #[test]
+    fn sssp_rounds_trace_shrinking_wavefront() {
+        let g = crate::graph::Graph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+            true,
+        );
+        let tracer = aio_trace::Tracer::new();
+        let mut eng = DatalogEngine::new(&g);
+        eng.set_tracer(&tracer);
+        let d = eng.sssp(0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+        let trace = tracer.finish();
+        trace.validate().unwrap();
+        let rounds: Vec<_> = trace.spans_named("dl_round").collect();
+        assert_eq!(rounds.len(), 4, "wavefront drains after |path| rounds");
+        for (i, r) in rounds.iter().enumerate() {
+            assert_eq!(r.field_u64("round"), Some(i as u64));
+            assert_eq!(r.field_u64("delta_tuples"), Some(1), "path wavefront is 1 wide");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! implements exactly the three algorithms Fig. 11 tests: PR, WCC, SSSP.
 
 use crate::graph::Graph;
+use aio_trace::Tracer;
 use std::collections::VecDeque;
 
 /// Gather-apply engine.
@@ -14,6 +15,7 @@ pub struct VertexCentric<'g> {
     /// Reverse graph (gather pulls along in-edges).
     rev: Graph,
     threads: usize,
+    tracer: Option<&'g Tracer>,
 }
 
 impl<'g> VertexCentric<'g> {
@@ -25,7 +27,14 @@ impl<'g> VertexCentric<'g> {
             g,
             rev: g.reverse(),
             threads,
+            tracer: None,
         }
+    }
+
+    /// Record one `superstep` span per gather round / label-flood round
+    /// (active-vertex counts) on `tracer`.
+    pub fn set_tracer(&mut self, tracer: &'g Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// PageRank, gather formulation: `w'(v) = c · Σ_{u→v} w(u)·ω(u,v) +
@@ -34,7 +43,12 @@ impl<'g> VertexCentric<'g> {
         let n = self.g.node_count();
         let base = (1.0 - c) / n as f64;
         let mut w = vec![base; n];
-        for _ in 0..iters {
+        for iter in 0..iters {
+            let span = aio_trace::maybe_span(self.tracer, "superstep");
+            if let Some(s) = &span {
+                s.field("superstep", iter as u64);
+                s.field("active_vertices", n as u64); // PR keeps all vertices hot
+            }
             let mut next = vec![0.0f64; n];
             let chunk = n.div_ceil(self.threads.max(1));
             std::thread::scope(|s| {
@@ -65,7 +79,14 @@ impl<'g> VertexCentric<'g> {
         let n = self.g.node_count();
         let mut label: Vec<u32> = (0..n as u32).collect();
         let mut active: Vec<u32> = (0..n as u32).collect();
+        let mut round = 0u64;
         while !active.is_empty() {
+            let span = aio_trace::maybe_span(self.tracer, "superstep");
+            if let Some(s) = &span {
+                s.field("superstep", round);
+                s.field("active_vertices", active.len() as u64);
+            }
+            round += 1;
             let mut next_active = Vec::new();
             for &v in &active {
                 let lv = label[v as usize];
@@ -92,7 +113,12 @@ impl<'g> VertexCentric<'g> {
         let mut inq = vec![false; n];
         q.push_back(src);
         inq[src as usize] = true;
+        // The worklist has no superstep barrier; trace it as one span
+        // counting how many vertices were relaxed.
+        let span = aio_trace::maybe_span(self.tracer, "worklist");
+        let mut relaxed = 0u64;
         while let Some(u) = q.pop_front() {
+            relaxed += 1;
             inq[u as usize] = false;
             let du = dist[u as usize];
             for (i, &v) in self.g.neighbors(u).iter().enumerate() {
@@ -105,6 +131,9 @@ impl<'g> VertexCentric<'g> {
                     }
                 }
             }
+        }
+        if let Some(s) = &span {
+            s.field("relaxed_vertices", relaxed);
         }
         dist
     }
@@ -128,6 +157,26 @@ mod tests {
         let g = generate(GraphKind::Uniform, 300, 500, false, 22);
         let eng = VertexCentric::new(&g);
         assert_eq!(eng.wcc(), reference::wcc_min_label(&g));
+    }
+
+    #[test]
+    fn traced_runs_record_supersteps() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)], true);
+        let tracer = aio_trace::Tracer::new();
+        let mut eng = VertexCentric::new(&g);
+        eng.set_tracer(&tracer);
+        eng.pagerank(0.85, 5);
+        eng.wcc();
+        eng.sssp(0);
+        let trace = tracer.finish();
+        trace.validate().unwrap();
+        let steps: Vec<_> = trace.spans_named("superstep").collect();
+        // 5 PR iterations (all vertices hot) + the WCC flood rounds
+        assert!(steps.len() > 5);
+        assert_eq!(steps[0].field_u64("active_vertices"), Some(3));
+        let wl: Vec<_> = trace.spans_named("worklist").collect();
+        assert_eq!(wl.len(), 1);
+        assert_eq!(wl[0].field_u64("relaxed_vertices"), Some(3));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Chrome Trace Event exporter.
+//!
+//! Emits the JSON object format (`{"traceEvents":[...]}`) with complete
+//! (`"ph":"X"`) events for spans and instant (`"ph":"i"`) events, which both
+//! `chrome://tracing` and Perfetto (ui.perfetto.dev) load directly.
+//! Timestamps and durations are microseconds per the format spec; span
+//! nesting is reconstructed by the viewer from begin/duration on a single
+//! thread track.
+
+use crate::{json::escape, EventRecord, SpanRecord, Trace};
+
+fn args_json(fields: &[(crate::FieldKey, crate::FieldValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), v.to_json()));
+    }
+    out.push('}');
+    out
+}
+
+fn span_event(s: &SpanRecord) -> String {
+    // Use microsecond floats to keep sub-µs spans visible.
+    let ts = s.start_ns as f64 / 1000.0;
+    let dur = s.dur_ns() as f64 / 1000.0;
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"aio\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":1,\"args\":{}}}",
+        escape(s.name),
+        args_json(&s.fields)
+    )
+}
+
+fn instant_event(e: &EventRecord) -> String {
+    let ts = e.at_ns as f64 / 1000.0;
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"aio\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":1,\"args\":{}}}",
+        escape(e.name),
+        args_json(&e.fields)
+    )
+}
+
+/// Render a [`Trace`] as a Chrome Trace Event JSON document.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(trace.spans.len() + trace.events.len());
+    // Sort spans by start so the viewer's nesting heuristic always sees
+    // parents before children (completion order is children-first).
+    let mut spans: Vec<&SpanRecord> = trace.spans.iter().collect();
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    events.extend(spans.iter().map(|s| span_event(s)));
+    events.extend(trace.events.iter().map(instant_event));
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(e);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{json, Tracer};
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_shape() {
+        let t = Tracer::new();
+        {
+            let g = t.span("run");
+            g.field("algo", "pr");
+            {
+                let _i = t.span("iteration");
+                t.event("converged", []);
+            }
+        }
+        let doc = t.finish().to_chrome_json();
+        let v = json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        let phs: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phs, ["X", "X", "i"]);
+        // parent sorted before child despite closing after it
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("run"));
+        for e in events {
+            assert!(e.get("ts").unwrap().as_num().is_some());
+            assert!(e.get("args").is_some());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Pluggable trace sinks.
+//!
+//! The [`Tracer`](crate::Tracer) always records into a bounded [`RingSink`]
+//! (so `finish()` can return a [`Trace`](crate::Trace)); additional sinks
+//! attached with `add_sink` observe every completed span and event as it is
+//! recorded — e.g. [`JsonlSink`] streams newline-delimited JSON to any
+//! `Write` destination.
+
+use crate::{EventRecord, SpanRecord};
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Observer of completed spans and instant events.
+pub trait Sink {
+    fn on_span(&mut self, span: &SpanRecord);
+    fn on_event(&mut self, event: &EventRecord);
+    fn flush(&mut self) {}
+}
+
+/// Keeps the most recent `capacity` spans (and events), evicting oldest.
+pub struct RingSink {
+    capacity: usize,
+    spans: VecDeque<SpanRecord>,
+    events: VecDeque<EventRecord>,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            spans: VecDeque::new(),
+            events: VecDeque::new(),
+        }
+    }
+
+    pub fn into_trace(self) -> crate::Trace {
+        crate::Trace {
+            spans: self.spans.into(),
+            events: self.events.into(),
+        }
+    }
+}
+
+impl Sink for RingSink {
+    fn on_span(&mut self, span: &SpanRecord) {
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+        }
+        self.spans.push_back(span.clone());
+    }
+
+    fn on_event(&mut self, event: &EventRecord) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event.clone());
+    }
+}
+
+/// Discards everything. Useful as an explicit "measure sink overhead" baseline.
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn on_span(&mut self, _: &SpanRecord) {}
+    fn on_event(&mut self, _: &EventRecord) {}
+}
+
+/// Streams each span/event as one JSON object per line to a `Write`.
+///
+/// Span lines: `{"kind":"span","id":..,"parent":..,"depth":..,"name":..,
+/// "start_ns":..,"end_ns":..,"fields":{...}}`; event lines use
+/// `"kind":"event"` with `span`/`at_ns`. [`crate::json::validate_trace_jsonl`]
+/// checks exactly this schema.
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn on_span(&mut self, span: &SpanRecord) {
+        let _ = writeln!(self.out, "{}", span_jsonl(span));
+    }
+
+    fn on_event(&mut self, event: &EventRecord) {
+        let _ = writeln!(self.out, "{}", event_jsonl(event));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+fn fields_json(fields: &[(crate::FieldKey, crate::FieldValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", crate::json::escape(k), v.to_json()));
+    }
+    out.push('}');
+    out
+}
+
+/// One-line JSON for a span (no trailing newline).
+pub fn span_jsonl(s: &SpanRecord) -> String {
+    format!(
+        "{{\"kind\":\"span\",\"id\":{},\"parent\":{},\"depth\":{},\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"fields\":{}}}",
+        s.id,
+        s.parent,
+        s.depth,
+        crate::json::escape(s.name),
+        s.start_ns,
+        s.end_ns,
+        fields_json(&s.fields)
+    )
+}
+
+/// One-line JSON for an event (no trailing newline).
+pub fn event_jsonl(e: &EventRecord) -> String {
+    format!(
+        "{{\"kind\":\"event\",\"span\":{},\"name\":\"{}\",\"at_ns\":{},\"fields\":{}}}",
+        e.span,
+        crate::json::escape(e.name),
+        e.at_ns,
+        fields_json(&e.fields)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn jsonl_sink_streams_valid_lines() {
+        let t = Tracer::new();
+        t.add_sink(Box::new(JsonlSink::new(Vec::new())));
+        // We can't easily recover the Vec from the boxed sink, so render
+        // via Trace::to_jsonl and check the same serializers validate.
+        {
+            let g = t.span("op");
+            g.field("rows", 3u64);
+            t.event("tick", []);
+        }
+        let tr = t.finish();
+        let jsonl = tr.to_jsonl();
+        crate::json::validate_trace_jsonl(&jsonl).unwrap();
+        assert!(jsonl.lines().any(|l| l.contains("\"kind\":\"span\"")));
+        assert!(jsonl.lines().any(|l| l.contains("\"kind\":\"event\"")));
+    }
+
+    #[test]
+    fn escaping_survives_quotes_in_field_values() {
+        let t = Tracer::new();
+        {
+            let g = t.span("op");
+            g.field("label", "he said \"hi\"\n");
+        }
+        let tr = t.finish();
+        crate::json::validate_trace_jsonl(&tr.to_jsonl()).unwrap();
+    }
+}

@@ -12,8 +12,19 @@ use crate::psm::{PsmRunner, QueryResult, RunStats};
 use aio_algebra::ops::{AntiJoinImpl, UbuImpl};
 use aio_algebra::{EngineProfile, Evaluator};
 use aio_storage::{Catalog, Relation, Value};
+use aio_trace::{Trace, Tracer};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// What [`Database::explain_analyze`] returns: the query result, the
+/// annotated-plan report, and the raw trace (exportable with
+/// [`Trace::to_chrome_json`] / [`Trace::to_jsonl`]).
+#[derive(Debug)]
+pub struct ExplainOutput {
+    pub result: QueryResult,
+    pub report: String,
+    pub trace: Trace,
+}
 
 /// Apply the early-selection rewrite to every plan of a compiled
 /// statement.
@@ -43,6 +54,10 @@ pub struct Database {
     /// Off by default so the optimization can be measured in isolation.
     pub optimize: bool,
     params: HashMap<String, Value>,
+    /// When set, every execution records hierarchical spans into it
+    /// (per-operator, per-subquery, per-iteration). `None` (the default)
+    /// costs one branch per plan node.
+    tracer: Option<Tracer>,
 }
 
 impl Database {
@@ -54,7 +69,24 @@ impl Database {
             anti_impl: AntiJoinImpl::LeftOuterNull,
             optimize: false,
             params: HashMap::new(),
+            tracer: None,
         }
+    }
+
+    /// Start recording spans for subsequent executions.
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Some(Tracer::new());
+    }
+
+    /// Stop tracing and return everything recorded since
+    /// [`Database::enable_tracing`] (`None` if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracer.take().map(Tracer::finish)
+    }
+
+    /// Is a tracer currently attached?
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// Bind a named parameter referenced as `:name` in SQL.
@@ -96,6 +128,7 @@ impl Database {
                     compiled = optimize_compiled(compiled);
                 }
                 let mut runner = PsmRunner::new(&mut self.catalog, &self.profile, self.ubu_impl);
+                runner.set_tracer(self.tracer.as_ref());
                 runner.run(&compiled)
             }
             Statement::Select(s) => {
@@ -105,14 +138,18 @@ impl Database {
                 if self.optimize {
                     plan = aio_algebra::push_selections(&plan);
                 }
-                let mut ev = Evaluator::new(&self.catalog, &self.profile);
-                let relation = ev.eval(&plan)?;
+                let span = aio_trace::maybe_span(self.tracer.as_ref(), "query");
+                if let Some(sp) = &span {
+                    sp.field("plan", "select");
+                }
+                let mut ev =
+                    Evaluator::with_tracer(&self.catalog, &self.profile, self.tracer.as_ref());
+                let relation = ev.eval_root(&plan)?;
+                drop(span);
                 let stats = RunStats {
-                    iterations: Vec::new(),
                     exec: ev.stats,
                     elapsed: start.elapsed(),
-                    wal_bytes: 0,
-                    snapshots: Vec::new(),
+                    ..Default::default()
                 };
                 Ok(QueryResult { relation, stats })
             }
@@ -123,7 +160,55 @@ impl Database {
     /// exclude parse/compile time from the measured loop).
     pub fn run_compiled(&mut self, compiled: &CompiledWithPlus) -> Result<QueryResult> {
         let mut runner = PsmRunner::new(&mut self.catalog, &self.profile, self.ubu_impl);
+        runner.set_tracer(self.tracer.as_ref());
         runner.run(compiled)
+    }
+
+    /// EXPLAIN ANALYZE: execute `sql` under a fresh tracer and return the
+    /// result together with the plan tree annotated per node with
+    /// invocation counts, output cardinalities and wall time, plus the raw
+    /// trace for Perfetto/JSONL export. Any tracer previously attached with
+    /// [`Database::enable_tracing`] is preserved (its recording pauses for
+    /// this one statement).
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<ExplainOutput> {
+        self.explain_analyze_opts(sql, true)
+    }
+
+    /// [`Database::explain_analyze`] with wall-clock annotations optional —
+    /// `timings: false` yields a deterministic report for snapshot tests.
+    pub fn explain_analyze_opts(&mut self, sql: &str, timings: bool) -> Result<ExplainOutput> {
+        let prev = self.tracer.replace(Tracer::new());
+        let outcome = self.execute(sql);
+        let trace = self
+            .tracer
+            .take()
+            .map(Tracer::finish)
+            .unwrap_or_default();
+        self.tracer = prev;
+        let result = outcome?;
+        let report = match Parser::parse_statement(sql)? {
+            Statement::WithPlus(w) => {
+                let ctx = LowerCtx::new(&self.params, self.anti_impl);
+                let mut compiled = compile(&w, &ctx)?;
+                if self.optimize {
+                    compiled = optimize_compiled(compiled);
+                }
+                crate::explain::render_with_plus(&compiled, &result.stats, &trace, timings)
+            }
+            Statement::Select(s) => {
+                let ctx = LowerCtx::new(&self.params, self.anti_impl);
+                let mut plan = lower_select(&s, &ctx)?;
+                if self.optimize {
+                    plan = aio_algebra::push_selections(&plan);
+                }
+                crate::explain::render_select(&plan, &trace, timings)
+            }
+        };
+        Ok(ExplainOutput {
+            result,
+            report,
+            trace,
+        })
     }
 }
 
@@ -188,6 +273,66 @@ mod tests {
             )
             .unwrap();
         assert!(c.datalog.to_string().contains(":-"));
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_section() {
+        let mut db = db_with_edges();
+        let out = db
+            .explain_analyze(
+                "with TC(F, T) as (\
+                   (select E.F, E.T from E)\
+                   union\
+                   (select TC.F, E.T from TC, E where TC.T = E.F))\
+                 select * from TC",
+            )
+            .unwrap();
+        assert_eq!(out.result.relation.len(), 3);
+        out.trace.validate().unwrap();
+        let r = &out.report;
+        assert!(r.contains("EXPLAIN ANALYZE with+ TC"), "{r}");
+        assert!(r.contains("-- init[0] (executions=1)"), "{r}");
+        // 2 iterations ran the recursive subquery; delta drains on the 2nd
+        assert!(r.contains("-- rec[0] (executions=2)"), "{r}");
+        assert!(r.contains("-- final (executions=1)"), "{r}");
+        assert!(r.contains("Join[Inner]"), "{r}");
+        assert!(r.contains("time="), "{r}");
+        assert!(r.contains("it   1: delta="), "{r}");
+        assert!(r.contains("total: scanned="), "{r}");
+        assert!(!r.contains("never executed"), "{r}");
+        // Perfetto export is valid JSON with events
+        let chrome = out.trace.to_chrome_json();
+        let v = aio_trace::json::parse(&chrome).unwrap();
+        assert!(!v.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+        // tracing was transient: the db is not left tracing
+        assert!(!db.tracing_enabled());
+    }
+
+    #[test]
+    fn explain_analyze_select_and_determinism() {
+        let mut db = db_with_edges();
+        let a = db
+            .explain_analyze_opts("select E.F, E.T from E where E.F = 1", false)
+            .unwrap();
+        assert!(a.report.contains("EXPLAIN ANALYZE select"), "{}", a.report);
+        assert!(a.report.contains("Select"), "{}", a.report);
+        assert!(!a.report.contains("time="), "{}", a.report);
+        let b = db
+            .explain_analyze_opts("select E.F, E.T from E where E.F = 1", false)
+            .unwrap();
+        assert_eq!(a.report, b.report, "timings-off report is deterministic");
+    }
+
+    #[test]
+    fn enable_tracing_spans_multiple_statements() {
+        let mut db = db_with_edges();
+        db.enable_tracing();
+        db.execute("select E.F from E").unwrap();
+        db.execute("select E.T from E").unwrap();
+        let trace = db.take_trace().unwrap();
+        trace.validate().unwrap();
+        assert_eq!(trace.spans_named("query").count(), 2);
+        assert!(db.take_trace().is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod compile;
 pub mod db;
 pub mod display;
 pub mod error;
+pub mod explain;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
@@ -39,8 +40,8 @@ pub mod translate;
 
 pub use ast::{Expr, FromItem, SelectStmt, Subquery, UnionMode, WithPlus};
 pub use compile::{compile, CompiledWithPlus};
-pub use db::Database;
+pub use db::{Database, ExplainOutput};
 pub use error::{Result, WithPlusError};
 pub use parser::{Parser, Statement};
-pub use psm::{IterStat, QueryResult, RunStats};
+pub use psm::{IterStat, QueryResult, RunStats, SubqueryIterStat};
 pub use sql99::{FeatureMatrix, Sql99Engine};

@@ -9,9 +9,24 @@ use crate::compile::{CompiledStep, CompiledWithPlus};
 use crate::error::{Result, WithPlusError};
 use aio_algebra::ops::{self, UbuImpl};
 use aio_algebra::{EngineProfile, Evaluator, ExecStats, Plan};
-use aio_storage::{Catalog, Column, Relation, Schema};
+use aio_storage::{Catalog, Column, Relation, Row, Schema};
+use aio_trace::Tracer;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// What one recursive subquery did in one iteration: its delta cardinality
+/// and the emptiness-condition `C_i` outcome (Algorithm 1 exits when every
+/// `C_i` is false).
+#[derive(Clone, Debug)]
+pub struct SubqueryIterStat {
+    /// Tuples this subquery produced this iteration.
+    pub delta_rows: usize,
+    /// `C_i`: did applying this subquery's delta change R?
+    pub changed: bool,
+    /// Rows actually inserted or updated by union-by-update (0 for
+    /// union/union-all modes, where `delta_rows`/dedup tell the story).
+    pub ubu_changed_rows: usize,
+}
 
 /// Per-iteration record (drives Fig. 12/13: running time and number of
 /// tuples per iteration).
@@ -22,13 +37,27 @@ pub struct IterStat {
     /// Tuples the recursive subqueries produced this iteration.
     pub delta_rows: usize,
     pub elapsed: Duration,
+    /// Operator counters attributable to *this* iteration alone
+    /// (`RunStats::exec` minus the snapshot taken when it started).
+    pub exec: ExecStats,
+    /// One entry per recursive subquery, in declaration order.
+    pub subqueries: Vec<SubqueryIterStat>,
 }
 
 /// Whole-run statistics.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
     pub iterations: Vec<IterStat>,
+    /// Grand total over the whole run: initialization + every iteration +
+    /// the final query (`init_exec` + Σ `iterations[i].exec` + `final_exec`).
     pub exec: ExecStats,
+    /// Counters from the initialization subqueries (and their `computed by`
+    /// steps) only.
+    pub init_exec: ExecStats,
+    /// Counters from the final query only. Previously these were
+    /// indistinguishable inside `exec`, silently merged with whatever the
+    /// last iteration did.
+    pub final_exec: ExecStats,
     pub elapsed: Duration,
     /// Bytes the simulated WAL encoded during the run.
     pub wal_bytes: u64,
@@ -156,6 +185,23 @@ fn rebind_scan(plan: &Plan, rec: &str, replacement: &str) -> Plan {
     }
 }
 
+/// Multiset count of rows in `after` that are not covered by `before` —
+/// i.e. how many rows union-by-update inserted or overwrote.
+fn changed_row_count(before: &Relation, after: &Relation) -> usize {
+    let mut counts: HashMap<&Row, i64> = HashMap::new();
+    for r in before.rows() {
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    let mut changed = 0usize;
+    for r in after.rows() {
+        match counts.get_mut(r) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => changed += 1,
+        }
+    }
+    changed
+}
+
 /// The runtime for one with+ execution.
 pub struct PsmRunner<'a> {
     pub catalog: &'a mut Catalog,
@@ -165,6 +211,7 @@ pub struct PsmRunner<'a> {
     created: Vec<String>,
     index_specs: HashMap<String, Vec<String>>,
     stats: RunStats,
+    tracer: Option<&'a Tracer>,
 }
 
 impl<'a> PsmRunner<'a> {
@@ -180,13 +227,29 @@ impl<'a> PsmRunner<'a> {
             created: Vec::new(),
             index_specs: HashMap::new(),
             stats: RunStats::default(),
+            tracer: None,
         }
     }
 
-    fn eval(&mut self, plan: &Plan) -> Result<Relation> {
-        let mut ev = Evaluator::new(self.catalog, self.profile);
-        let rel = ev.eval(plan)?;
+    /// Record spans for this run: one `query` span per subquery execution
+    /// (labelled `init[i]`, `rec[i]`, `<label>.computed.<name>`, `final`)
+    /// wrapping the evaluator's per-operator spans, plus one `iteration`
+    /// span per loop pass carrying the convergence telemetry.
+    pub fn set_tracer(&mut self, tracer: Option<&'a Tracer>) {
+        self.tracer = tracer;
+    }
+
+    fn eval(&mut self, plan: &Plan, label: &str) -> Result<Relation> {
+        let span = aio_trace::maybe_span(self.tracer, "query");
+        if let Some(s) = &span {
+            s.field("plan", label.to_string());
+        }
+        let mut ev = Evaluator::with_tracer(self.catalog, self.profile, self.tracer);
+        let rel = ev.eval_root(plan)?;
         self.stats.exec.absorb(&ev.stats);
+        if let Some(s) = &span {
+            s.field("rows_out", rel.len() as u64);
+        }
         Ok(rel)
     }
 
@@ -221,9 +284,9 @@ impl<'a> PsmRunner<'a> {
         Ok(())
     }
 
-    fn run_step_computed(&mut self, step: &CompiledStep) -> Result<()> {
+    fn run_step_computed(&mut self, step: &CompiledStep, label_prefix: &str) -> Result<()> {
         for (name, cols, plan) in &step.computed {
-            let rel = self.eval(plan)?;
+            let rel = self.eval(plan, &format!("{label_prefix}.computed.{name}"))?;
             let rel = rename_to(rel, cols)?;
             self.materialize(name, rel)?;
         }
@@ -233,6 +296,10 @@ impl<'a> PsmRunner<'a> {
     /// Execute a compiled with+ statement to completion.
     pub fn run(&mut self, c: &CompiledWithPlus) -> Result<QueryResult> {
         let start = Instant::now();
+        let run_span = aio_trace::maybe_span(self.tracer, "psm_run");
+        if let Some(s) = &run_span {
+            s.field("rec", c.rec_name.clone());
+        }
         let wal_before = self.catalog.wal.bytes_written();
         if self.catalog.contains(&c.rec_name) {
             return Err(WithPlusError::Restriction(format!(
@@ -282,9 +349,10 @@ impl<'a> PsmRunner<'a> {
     fn run_inner(&mut self, c: &CompiledWithPlus, _start: Instant) -> Result<Relation> {
         // --- initialization ------------------------------------------------
         let mut init_rel: Option<Relation> = None;
-        for step in &c.init {
-            self.run_step_computed(step)?;
-            let rel = self.eval(&step.plan)?;
+        for (i, step) in c.init.iter().enumerate() {
+            let label = format!("init[{i}]");
+            self.run_step_computed(step, &label)?;
+            let rel = self.eval(&step.plan, &label)?;
             let rel = rename_to(rel, &c.rec_cols)?;
             init_rel = Some(match init_rel {
                 None => rel,
@@ -342,23 +410,38 @@ impl<'a> PsmRunner<'a> {
             c.recursive.clone()
         };
 
+        // Everything counted so far belongs to initialization.
+        self.stats.init_exec = self.stats.exec.clone();
+
         let max = c.max_recursion.unwrap_or(DEFAULT_MAX_RECURSION);
-        for _it in 0..max {
+        for it in 0..max {
             let it_start = Instant::now();
+            let exec_at_start = self.stats.exec.clone();
+            let it_span = aio_trace::maybe_span(self.tracer, "iteration");
+            if let Some(s) = &it_span {
+                s.field("iter", it as u64);
+            }
             let mut delta_total = 0usize;
             let mut changed = false;
             let mut next_working: Option<Relation> = None;
+            let mut subqueries: Vec<SubqueryIterStat> = Vec::with_capacity(rec_steps.len());
 
-            for step in &rec_steps {
-                self.run_step_computed(step)?;
-                let delta = self.eval(&step.plan)?;
+            for (qi, step) in rec_steps.iter().enumerate() {
+                let label = format!("rec[{qi}]");
+                self.run_step_computed(step, &label)?;
+                let delta = self.eval(&step.plan, &label)?;
                 let delta = rename_to(delta, &c.rec_cols)?;
                 delta_total += delta.len();
+                let mut sub = SubqueryIterStat {
+                    delta_rows: delta.len(),
+                    changed: false,
+                    ubu_changed_rows: 0,
+                };
 
                 match &c.union {
                     UnionMode::All => {
                         if !delta.is_empty() {
-                            changed = true;
+                            sub.changed = true;
                             self.catalog.insert_rows(
                                 &c.rec_name,
                                 delta.rows().to_vec(),
@@ -374,7 +457,7 @@ impl<'a> PsmRunner<'a> {
                         let r = self.catalog.relation(&c.rec_name)?;
                         let fresh = ops::difference(&delta, r)?;
                         if !fresh.is_empty() {
-                            changed = true;
+                            sub.changed = true;
                             self.catalog.insert_rows(
                                 &c.rec_name,
                                 fresh.rows().to_vec(),
@@ -398,11 +481,30 @@ impl<'a> PsmRunner<'a> {
                             &mut self.stats.exec,
                         )?;
                         let after = self.catalog.relation(&c.rec_name)?;
-                        if !after.same_rows_unordered(&before) {
-                            changed = true;
-                        }
+                        sub.ubu_changed_rows = changed_row_count(&before, after);
+                        sub.changed = sub.ubu_changed_rows > 0
+                            || !after.same_rows_unordered(&before);
                     }
                 }
+                changed |= sub.changed;
+                if let Some(t) = self.tracer {
+                    t.event(
+                        "subquery",
+                        [
+                            ("q".into(), aio_trace::FieldValue::UInt(qi as u64)),
+                            (
+                                "delta_rows".into(),
+                                aio_trace::FieldValue::UInt(sub.delta_rows as u64),
+                            ),
+                            ("c_i".into(), aio_trace::FieldValue::Bool(sub.changed)),
+                            (
+                                "ubu_changed_rows".into(),
+                                aio_trace::FieldValue::UInt(sub.ubu_changed_rows as u64),
+                            ),
+                        ],
+                    );
+                }
+                subqueries.push(sub);
             }
 
             if seminaive {
@@ -414,10 +516,22 @@ impl<'a> PsmRunner<'a> {
                 // inserts invalidated R's indexes; rebuild for the next scan
                 self.build_indexes(&c.rec_name)?;
             }
+            let r_rows = self.catalog.relation(&c.rec_name)?.len();
+            if let Some(s) = &it_span {
+                s.field("delta_rows", delta_total as u64);
+                s.field("r_rows", r_rows as u64);
+                s.field(
+                    "ubu_changed_rows",
+                    subqueries.iter().map(|q| q.ubu_changed_rows as u64).sum::<u64>(),
+                );
+                s.field("changed", changed);
+            }
             self.stats.iterations.push(IterStat {
-                r_rows: self.catalog.relation(&c.rec_name)?.len(),
+                r_rows,
                 delta_rows: delta_total,
                 elapsed: it_start.elapsed(),
+                exec: self.stats.exec.delta_since(&exec_at_start),
+                subqueries,
             });
             if self.profile.capture_snapshots {
                 self.stats
@@ -430,7 +544,12 @@ impl<'a> PsmRunner<'a> {
         }
 
         // --- final query ----------------------------------------------------
-        self.eval(&c.final_plan)
+        // Attribute the final query's operator counts to their own block
+        // instead of silently merging them into the last iteration's tail.
+        let exec_before_final = self.stats.exec.clone();
+        let out = self.eval(&c.final_plan, "final")?;
+        self.stats.final_exec = self.stats.exec.delta_since(&exec_before_final);
+        Ok(out)
     }
 }
 
@@ -603,6 +722,125 @@ with P(ID, W) as (
 select * from P";
         let out = run_sql(sql, &[]);
         assert_eq!(out.stats.iterations.len(), 7);
+    }
+
+    #[test]
+    fn exec_stats_partition_into_init_iterations_final() {
+        let sql = "\
+with TC(F, T) as (
+  (select E.F, E.T from E)
+  union
+  (select TC.F, E.T from TC, E where TC.T = E.F))
+select * from TC";
+        let out = run_sql(sql, &[]);
+        let s = &out.stats;
+        // the grand total is exactly the sum of the attributed blocks
+        let mut sum = s.init_exec.clone();
+        for it in &s.iterations {
+            sum.absorb(&it.exec);
+        }
+        sum.absorb(&s.final_exec);
+        assert_eq!(sum, s.exec, "init + Σiterations + final == total");
+        // the final block is no longer silently merged into the last
+        // iteration: the final query is a bare scan, so it scans and joins
+        // nothing extra
+        assert_eq!(s.final_exec.joins, 0);
+        assert!(s.final_exec.rows_scanned > 0, "final scans TC");
+        // every iteration of the recursive step runs exactly one join
+        for it in &s.iterations {
+            assert_eq!(it.exec.joins, 1, "TC = 1 join per iteration (§7.2)");
+            assert_eq!(it.subqueries.len(), 1);
+            assert_eq!(it.subqueries[0].delta_rows, it.delta_rows);
+        }
+        // C_i outcome flips to false exactly at the last iteration
+        let flags: Vec<bool> = s
+            .iterations
+            .iter()
+            .map(|it| it.subqueries.iter().any(|q| q.changed))
+            .collect();
+        assert!(flags[..flags.len() - 1].iter().all(|&c| c));
+        assert!(!flags.last().unwrap());
+    }
+
+    #[test]
+    fn ubu_changed_rows_count_updates_and_inserts() {
+        // BFS flood: each wave overwrites vw for newly reached nodes only
+        let sql = "\
+with B(ID, vw) as (
+  (select V.ID, least(1.0, greatest(V.vw, 0.0)) from V)
+  union by update ID
+  (select E.T, max(B.vw * E.ew) from B, E where B.ID = E.F group by E.T))
+select * from B";
+        let Statement::WithPlus(w) = Parser::parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let params = HashMap::new();
+        let ctx = LowerCtx::new(&params, AntiJoinImpl::LeftOuterNull);
+        let c = compile(&w, &ctx).unwrap();
+        let mut cat = catalog();
+        cat.relation_mut("V").unwrap().rows_mut()[0] = row![1, 1.0];
+        let profile = oracle_like();
+        let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+        let out = runner.run(&c).unwrap();
+        // graph 1→2→3→4 (+1→3): wave 1 reaches {2,3}, wave 2 reaches {4},
+        // wave 3 changes nothing → converged
+        let changed: Vec<usize> = out
+            .stats
+            .iterations
+            .iter()
+            .map(|it| it.subqueries[0].ubu_changed_rows)
+            .collect();
+        assert_eq!(changed, vec![2, 1, 0]);
+        assert_eq!(out.stats.iterations.len(), 3);
+        assert!(!out.stats.iterations.last().unwrap().subqueries[0].changed);
+    }
+
+    #[test]
+    fn traced_run_produces_wellformed_spans() {
+        let sql = "\
+with TC(F, T) as (
+  (select E.F, E.T from E)
+  union
+  (select TC.F, E.T from TC, E where TC.T = E.F))
+select * from TC";
+        let Statement::WithPlus(w) = Parser::parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let params = HashMap::new();
+        let ctx = LowerCtx::new(&params, AntiJoinImpl::LeftOuterNull);
+        let c = compile(&w, &ctx).unwrap();
+        let mut cat = catalog();
+        let profile = oracle_like();
+        let tracer = aio_trace::Tracer::new();
+        let mut runner = PsmRunner::new(&mut cat, &profile, UbuImpl::FullOuterJoin);
+        runner.set_tracer(Some(&tracer));
+        let out = runner.run(&c).unwrap();
+        let trace = tracer.finish();
+        trace.validate().unwrap();
+        // one psm_run root, one iteration span per IterStat, and per-
+        // iteration query spans labelled rec[0]
+        assert_eq!(trace.spans_named("psm_run").count(), 1);
+        assert_eq!(
+            trace.spans_named("iteration").count(),
+            out.stats.iterations.len()
+        );
+        let rec_queries = trace
+            .spans_named("query")
+            .filter(|s| s.field("plan").map(|v| v.to_string()) == Some("rec[0]".into()))
+            .count();
+        assert_eq!(rec_queries, out.stats.iterations.len());
+        // iteration spans carry the convergence fields
+        for (i, sp) in trace.spans_named("iteration").enumerate() {
+            assert_eq!(sp.field_u64("iter"), Some(i as u64));
+            assert!(sp.field_u64("delta_rows").is_some());
+            assert!(sp.field_u64("r_rows").is_some());
+        }
+        // untraced runner records nothing and produces identical results
+        let mut cat2 = catalog();
+        let mut plain = PsmRunner::new(&mut cat2, &profile, UbuImpl::FullOuterJoin);
+        let out2 = plain.run(&c).unwrap();
+        assert!(out.relation.same_rows_unordered(&out2.relation));
+        assert_eq!(out.stats.exec, out2.stats.exec);
     }
 
     #[test]
