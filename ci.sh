@@ -35,6 +35,16 @@ test -s "$trace_dir/TRACE_pagerank.jsonl"
 test -s "$trace_dir/TRACE_pagerank.json"
 rm -rf "$trace_dir"
 
+# optimizer smoke: the cost-based A/B must run, agree across levels
+# (asserted inside the binary) and emit a non-empty BENCH_optimizer.json.
+# The equivalence suite itself is part of the default `cargo test` above.
+opt_dir="$(mktemp -d)"
+(cd "$opt_dir" && "$repro_bin" optimizer --scale 0.01) |
+    tee "$opt_dir/optimizer.out"
+grep -q "optimizer=cost" "$opt_dir/optimizer.out"
+test -s "$opt_dir/BENCH_optimizer.json"
+rm -rf "$opt_dir"
+
 if [ "$mode" = full ]; then
     # zero-cost-when-disabled bar: <2% overhead on a ~1M-edge hash join
     # (writes BENCH_trace_overhead.json; the binary prints the verdict).

@@ -22,6 +22,11 @@ pub struct NodeAgg {
     pub build_ns: u64,
     pub probe_ns: u64,
     pub morsels: u64,
+    /// Summed optimizer cardinality estimates (field `est_rows`), parallel
+    /// to `rows_out`, and how many invocations recorded one — estimates are
+    /// only stamped when the evaluator traces with statistics available.
+    pub est_rows: u64,
+    pub est_recorded: u64,
 }
 
 impl NodeAgg {
@@ -32,6 +37,10 @@ impl NodeAgg {
         self.build_ns += s.field_u64("build_ns").unwrap_or(0);
         self.probe_ns += s.field_u64("probe_ns").unwrap_or(0);
         self.morsels += s.field_u64("morsels").unwrap_or(0);
+        if let Some(e) = s.field_u64("est_rows") {
+            self.est_rows += e;
+            self.est_recorded += 1;
+        }
     }
 }
 
@@ -215,6 +224,9 @@ fn render_node(
     match by_node.get(&id) {
         Some(a) => {
             out.push_str(&format!("  (calls={} rows={}", a.calls, a.rows_out));
+            if a.est_recorded > 0 {
+                out.push_str(&format!(" est={}", a.est_rows));
+            }
             if timings {
                 out.push_str(&format!(" time={}", fmt_ns(a.time_ns)));
             }
@@ -327,10 +339,10 @@ mod tests {
         let trace = t.finish();
         let spans: Vec<&aio_trace::SpanRecord> = trace.spans.iter().collect();
         let text = render_analyzed(&hop_plan(), &spans, true);
-        assert!(text.contains("Project [F, T]  (calls=1 rows=3 time="), "{text}");
+        assert!(text.contains("Project [F, T]  (calls=1 rows=3 est=3 time="), "{text}");
         assert!(text.contains("Join[Inner] on E1.T=E2.F"), "{text}");
         assert!(text.contains("build="), "{text}");
-        assert!(text.contains("Scan E AS E1  (calls=1 rows=3"), "{text}");
+        assert!(text.contains("Scan E AS E1  (calls=1 rows=3 est=3"), "{text}");
         assert!(!text.contains("never executed"), "{text}");
         // deterministic variant drops wall-clock numbers
         let stable = render_analyzed(&hop_plan(), &spans, false);
@@ -349,7 +361,7 @@ mod tests {
         let trace = t.finish();
         let spans: Vec<&aio_trace::SpanRecord> = trace.spans.iter().collect();
         let text = render_analyzed(&hop_plan(), &spans, false);
-        assert!(text.contains("calls=3 rows=9"), "{text}");
+        assert!(text.contains("calls=3 rows=9 est=9"), "{text}");
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub use error::{AlgebraError, Result};
 pub use expr::{seed_random, BinOp, Func, ScalarExpr, UnaryOp};
 pub use fault::{fault_hits, inject_ubu_off_by_one, ubu_fault_armed};
 pub use ops::{AntiJoinImpl, JoinKeys, JoinType, MvOrientation, UbuImpl};
-pub use optimize::push_selections;
+pub use optimize::{optimize_plan, push_selections};
 pub use plan::{execute, execute_traced, Evaluator, Plan};
-pub use profile::{all_profiles, db2_like, oracle_like, postgres_like, AggStrategy, EngineProfile, JoinStrategy};
+pub use profile::{all_profiles, db2_like, oracle_like, postgres_like, AggStrategy, EngineProfile, JoinStrategy, Optimizer};
 pub use semiring::{Semiring, BOOLEAN, COUNTING, MIN_MUL, TROPICAL};
-pub use stats::ExecStats;
+pub use stats::{estimate_nodes, ExecStats};

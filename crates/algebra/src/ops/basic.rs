@@ -46,7 +46,9 @@ pub fn select_par(
     Ok(out)
 }
 
-/// Infer an output column for a projection item.
+/// Infer an output column for a projection item. A dotted alias
+/// (`"E1.F"`) yields a *qualified* column, so plan rewrites can project
+/// columns back into place without losing their qualifiers.
 fn out_column(expr: &ScalarExpr, alias: &str, input: &Schema) -> Column {
     let ty = match expr {
         ScalarExpr::BoundCol(i) => input.columns()[*i].ty,
@@ -58,7 +60,10 @@ fn out_column(expr: &ScalarExpr, alias: &str, input: &Schema) -> Column {
         },
         _ => DataType::Any,
     };
-    Column::new(alias, ty)
+    match alias.split_once('.') {
+        Some((q, n)) if !q.is_empty() && !n.is_empty() => Column::qualified(q, n, ty),
+        _ => Column::new(alias, ty),
+    }
 }
 
 /// Π — compute one output column per `(expr, alias)` item. Serial

@@ -1,17 +1,40 @@
-//! Plan rewrites: **early selection** (predicate push-down).
+//! Plan rewrites: predicate push-down and the cost-based optimizer.
 //!
 //! Section 4.3 of the paper points at SQL-level optimizations for
 //! path-oriented algorithms, "among them one is early selection"
-//! (Ordonez, \[41\]). This pass pushes selection conjuncts below joins and
-//! products when every column they touch is *qualified* and every
+//! (Ordonez, \[41\]). [`push_selections`] pushes selection conjuncts below
+//! joins and products when every column they touch is *qualified* and every
 //! qualifier belongs to one side's alias set — the same syntactic
 //! discipline the with+ lowering uses for join keys.
 //!
-//! The pass is optional (the `Database` exposes an `optimize` switch) so
-//! its effect can be measured in isolation; the `ablation` bench does.
+//! [`optimize_plan`] is the profile-driven entry point
+//! ([`Optimizer::Off`] keeps the paper's fixed Algorithm 1 plans,
+//! [`Optimizer::Rules`] applies push-down only, [`Optimizer::Cost`] runs
+//! the full pass):
+//!
+//! 1. flatten each maximal inner-join/product/select region into leaves +
+//!    a predicate pool, attributing predicates to leaves by qualifier;
+//! 2. enumerate join orders — exact dynamic programming over subset
+//!    bitsets minimizing `C_out` (the summed intermediate cardinalities,
+//!    estimated by [`crate::stats`]) for regions of ≤ 8 leaves, a greedy
+//!    cheapest-pair fallback above;
+//! 3. prune unused Scan columns when a Project/Aggregate above the region
+//!    caps what escapes, and reduce large anti-join build sides with a
+//!    semi-join when statistics prove the key columns NULL-free;
+//! 4. restore the region's original output column order with a qualified
+//!    projection wherever an order-sensitive consumer (positional set
+//!    operation, the PSM runner's `INSERT ... SELECT`) sits above.
+//!
+//! Every rewrite is a pure function of the plan and the catalog statistics,
+//! so EXPLAIN ANALYZE can re-derive the executed plan deterministically.
+//! Regions containing non-deterministic predicates (`random()`), bare
+//! (unqualifiable) join keys, or duplicated aliases are left untouched.
 
 use crate::expr::{BinOp, ScalarExpr};
 use crate::plan::Plan;
+use crate::profile::Optimizer;
+use crate::stats::estimate;
+use aio_storage::Catalog;
 
 /// Aliases visible in a subtree's output (Scan aliases / table names).
 fn aliases(plan: &Plan, out: &mut Vec<String>) {
@@ -230,10 +253,658 @@ pub fn push_selections(plan: &Plan) -> Plan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cost-based optimization
+// ---------------------------------------------------------------------------
+
+/// Regions of at most this many leaves get exact DP join enumeration;
+/// larger ones fall back to greedy cheapest-pair.
+const DP_MAX_LEAVES: usize = 8;
+
+/// Reduce an anti-join's build side with a semi-join only when it is
+/// estimated at least this many times larger than the probe side.
+const SEMIJOIN_REDUCTION_RATIO: f64 = 4.0;
+
+/// Profile-driven plan optimization. Pure in `(plan, catalog statistics)`:
+/// two calls over an unchanged catalog produce structurally identical
+/// plans, which is what lets EXPLAIN ANALYZE re-derive the executed plan.
+pub fn optimize_plan(plan: &Plan, catalog: &Catalog, level: Optimizer) -> Plan {
+    match level {
+        Optimizer::Off => plan.clone(),
+        Optimizer::Rules => push_selections(plan),
+        Optimizer::Cost => cost_pass(&push_selections(plan), catalog, true, None),
+    }
+}
+
+/// Is this node the root of an inner-join/product/select region?
+fn is_region(p: &Plan) -> bool {
+    match p {
+        Plan::Join {
+            kind: crate::ops::JoinType::Inner,
+            ..
+        }
+        | Plan::Product { .. } => true,
+        Plan::Select { input, .. } => is_region(input),
+        _ => false,
+    }
+}
+
+/// The recursive cost pass. `sensitive` records whether some consumer above
+/// reads this node's output *positionally* (set operations, the PSM
+/// runner's `INSERT ... SELECT`): sensitive outputs must keep their exact
+/// column order, so reordered regions get a restoring projection and column
+/// pruning is disabled. `needed` carries the column references a directly
+/// enclosing Project/Aggregate/Window consumes — the license for pruning.
+fn cost_pass(plan: &Plan, catalog: &Catalog, sensitive: bool, needed: Option<&[String]>) -> Plan {
+    if is_region(plan) {
+        if let Some(rewritten) = try_reorder(plan, catalog, sensitive, needed) {
+            return rewritten;
+        }
+    }
+    match plan {
+        Plan::Scan { .. } | Plan::Values(_) => plan.clone(),
+        Plan::Select { input, pred } => Plan::Select {
+            input: Box::new(cost_pass(input, catalog, sensitive, None)),
+            pred: pred.clone(),
+        },
+        Plan::Project { input, items } => {
+            let mut refs = Vec::new();
+            for (e, _) in items {
+                e.collect_cols(&mut refs);
+            }
+            Plan::Project {
+                input: Box::new(cost_pass(input, catalog, false, Some(&refs))),
+                items: items.clone(),
+            }
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            items,
+        } => {
+            let mut refs = group_by.clone();
+            for (e, _) in items {
+                e.collect_cols(&mut refs);
+            }
+            Plan::Aggregate {
+                input: Box::new(cost_pass(input, catalog, false, Some(&refs))),
+                group_by: group_by.clone(),
+                items: items.clone(),
+            }
+        }
+        Plan::Window {
+            input,
+            partition_by,
+            items,
+        } => {
+            let mut refs = partition_by.clone();
+            for (e, _) in items {
+                e.collect_cols(&mut refs);
+            }
+            Plan::Window {
+                input: Box::new(cost_pass(input, catalog, false, Some(&refs))),
+                partition_by: partition_by.clone(),
+                items: items.clone(),
+            }
+        }
+        Plan::Distinct(input) => {
+            Plan::Distinct(Box::new(cost_pass(input, catalog, sensitive, None)))
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+            kind,
+        } => Plan::Join {
+            left: Box::new(cost_pass(left, catalog, sensitive, None)),
+            right: Box::new(cost_pass(right, catalog, sensitive, None)),
+            on: on.clone(),
+            residual: residual.clone(),
+            kind: *kind,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: Box::new(cost_pass(left, catalog, sensitive, None)),
+            right: Box::new(cost_pass(right, catalog, sensitive, None)),
+        },
+        // Set operations consume both children positionally.
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(cost_pass(left, catalog, true, None)),
+            right: Box::new(cost_pass(right, catalog, true, None)),
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(cost_pass(left, catalog, true, None)),
+            right: Box::new(cost_pass(right, catalog, true, None)),
+        },
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(cost_pass(left, catalog, true, None)),
+            right: Box::new(cost_pass(right, catalog, true, None)),
+        },
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            imp,
+        } => {
+            let l = cost_pass(left, catalog, sensitive, None);
+            let r = cost_pass(right, catalog, false, None);
+            let r = semijoin_reduce(&l, r, on, catalog);
+            Plan::AntiJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                on: on.clone(),
+                imp: *imp,
+            }
+        }
+        Plan::SemiJoin { left, right, on } => Plan::SemiJoin {
+            left: Box::new(cost_pass(left, catalog, sensitive, None)),
+            right: Box::new(cost_pass(right, catalog, false, None)),
+            on: on.clone(),
+        },
+    }
+}
+
+/// Semi-join reduction for anti-join build sides: rows of `right` whose key
+/// never occurs in `left` can never eliminate a probe row, so when `right`
+/// is estimated ≫ `left` it pays to shrink it first. Applied only in the
+/// provably safe shape — both sides are plain scans (no duplicated
+/// side-effects or nondeterminism when `left` is re-evaluated inside the
+/// semi-join) and statistics certify the right key columns NULL-free
+/// (`x NOT IN (...NULL...)` must stay empty, so NULL keys may not be
+/// dropped).
+fn semijoin_reduce(
+    left: &Plan,
+    right: Plan,
+    on: &[(String, String)],
+    catalog: &Catalog,
+) -> Plan {
+    let (Plan::Scan { .. }, Plan::Scan { table, alias }) = (left, &right) else {
+        return right;
+    };
+    let Some(stats) = catalog.stats(table) else {
+        return right;
+    };
+    let Ok(rel) = catalog.relation(table) else {
+        return right;
+    };
+    let schema = rel
+        .schema()
+        .with_qualifier(alias.as_deref().unwrap_or(table.as_str()));
+    for (_, rref) in on {
+        match schema.index_of(rref) {
+            Ok(i) => match stats.column(i) {
+                Some(s) if s.nulls == 0 => {}
+                _ => return right,
+            },
+            Err(_) => return right,
+        }
+    }
+    let l_est = estimate(left, catalog);
+    let r_est = estimate(&right, catalog);
+    if r_est.rows < SEMIJOIN_REDUCTION_RATIO * l_est.rows.max(1.0) {
+        return right;
+    }
+    Plan::SemiJoin {
+        left: Box::new(right),
+        right: Box::new(left.clone()),
+        on: on.iter().map(|(l, r)| (r.clone(), l.clone())).collect(),
+    }
+}
+
+/// An equi-join predicate attributed to two distinct leaves.
+struct Equi {
+    l: String,
+    r: String,
+    ll: usize,
+    rl: usize,
+}
+
+/// A DP / greedy table entry: a partial join tree over `leaf_seq`.
+struct Cand {
+    plan: Plan,
+    cost: f64,
+    leaf_seq: Vec<usize>,
+}
+
+/// Flatten a region into leaves, lifted predicate conjuncts, and raw
+/// equi-key pairs.
+fn flatten_region(
+    p: &Plan,
+    leaves: &mut Vec<Plan>,
+    preds: &mut Vec<ScalarExpr>,
+    keys: &mut Vec<(String, String)>,
+) {
+    match p {
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+            kind: crate::ops::JoinType::Inner,
+        } => {
+            flatten_region(left, leaves, preds, keys);
+            flatten_region(right, leaves, preds, keys);
+            keys.extend(on.iter().cloned());
+            if let Some(r) = residual {
+                split_conjuncts(r, preds);
+            }
+        }
+        Plan::Product { left, right } => {
+            flatten_region(left, leaves, preds, keys);
+            flatten_region(right, leaves, preds, keys);
+        }
+        Plan::Select { input, pred } => {
+            flatten_region(input, leaves, preds, keys);
+            split_conjuncts(pred, preds);
+        }
+        other => leaves.push(other.clone()),
+    }
+}
+
+/// The column identities `(qualifier, name)` a plan outputs, in order.
+/// `None` when they cannot be derived exactly (missing table).
+fn derive_cols(plan: &Plan, catalog: &Catalog) -> Option<Vec<(Option<String>, String)>> {
+    match plan {
+        Plan::Scan { table, alias } => {
+            let rel = catalog.relation(table).ok()?;
+            let q = alias.as_deref().unwrap_or(table.as_str());
+            Some(
+                rel.schema()
+                    .columns()
+                    .iter()
+                    .map(|c| (Some(q.to_string()), c.name.clone()))
+                    .collect(),
+            )
+        }
+        Plan::Values(rel) => Some(
+            rel.schema()
+                .columns()
+                .iter()
+                .map(|c| (c.qualifier.clone(), c.name.clone()))
+                .collect(),
+        ),
+        Plan::Select { input, .. } | Plan::Distinct(input) => derive_cols(input, catalog),
+        Plan::Project { items, .. }
+        | Plan::Aggregate { items, .. }
+        | Plan::Window { items, .. } => Some(
+            items
+                .iter()
+                .map(|(_, alias)| match alias.split_once('.') {
+                    Some((q, n)) if !q.is_empty() && !n.is_empty() => {
+                        (Some(q.to_string()), n.to_string())
+                    }
+                    _ => (None, alias.clone()),
+                })
+                .collect(),
+        ),
+        Plan::Join { left, right, .. } | Plan::Product { left, right } => {
+            let mut l = derive_cols(left, catalog)?;
+            l.extend(derive_cols(right, catalog)?);
+            Some(l)
+        }
+        Plan::UnionAll { left, .. }
+        | Plan::Union { left, .. }
+        | Plan::Difference { left, .. }
+        | Plan::AntiJoin { left, .. }
+        | Plan::SemiJoin { left, .. } => derive_cols(left, catalog),
+    }
+}
+
+/// Does `reference` match the column `(qual, name)` under the same rules as
+/// `Schema::index_of` (qualifier exact, name case-insensitive)?
+fn ref_matches(reference: &str, qual: Option<&str>, name: &str) -> bool {
+    match reference.split_once('.') {
+        Some((q, n)) => qual == Some(q) && n.eq_ignore_ascii_case(name),
+        None => reference.eq_ignore_ascii_case(name),
+    }
+}
+
+/// Full textual reference for a derived column.
+fn full_ref(qual: &Option<String>, name: &str) -> String {
+    match qual {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    }
+}
+
+/// Attempt the full region rewrite; `None` bails back to the structural
+/// recursion (duplicated aliases, unattributable join keys, fewer than two
+/// leaves, nondeterministic predicates, or an unrestorable output order).
+fn try_reorder(
+    plan: &Plan,
+    catalog: &Catalog,
+    sensitive: bool,
+    needed: Option<&[String]>,
+) -> Option<Plan> {
+    let mut leaves = Vec::new();
+    let mut preds = Vec::new();
+    let mut keys = Vec::new();
+    flatten_region(plan, &mut leaves, &mut preds, &mut keys);
+    let n = leaves.len();
+    if n < 2 {
+        return None;
+    }
+    // Reordering changes evaluation order; nondeterministic predicates
+    // (random()) pin the plan exactly as written.
+    if preds.iter().any(|p| !p.is_deterministic()) {
+        return None;
+    }
+
+    // Alias → leaf attribution; duplicated aliases make it ambiguous.
+    let mut alias_of: Vec<(String, usize)> = Vec::new();
+    for (i, leaf) in leaves.iter().enumerate() {
+        let mut a = Vec::new();
+        aliases(leaf, &mut a);
+        for al in a {
+            let low = al.to_ascii_lowercase();
+            if alias_of.iter().any(|(x, _)| *x == low) {
+                return None;
+            }
+            alias_of.push((low, i));
+        }
+    }
+    let leaf_of = |r: &str| -> Option<usize> {
+        let (q, _) = r.split_once('.')?;
+        let low = q.to_ascii_lowercase();
+        alias_of.iter().find(|(a, _)| *a == low).map(|(_, i)| *i)
+    };
+
+    // Classify join keys and predicate conjuncts.
+    let mut equis: Vec<Equi> = Vec::new();
+    let mut leaf_filters: Vec<Vec<ScalarExpr>> = vec![Vec::new(); n];
+    let mut residual: Vec<ScalarExpr> = Vec::new();
+    for (l, r) in keys {
+        match (leaf_of(&l), leaf_of(&r)) {
+            (Some(a), Some(b)) if a != b => equis.push(Equi { l, r, ll: a, rl: b }),
+            (Some(a), Some(_)) => leaf_filters[a].push(ScalarExpr::eq(
+                ScalarExpr::col(l.clone()),
+                ScalarExpr::col(r.clone()),
+            )),
+            // A join key we cannot attribute: reordering could detach it.
+            _ => return None,
+        }
+    }
+    for p in preds {
+        let mut cols = Vec::new();
+        p.collect_cols(&mut cols);
+        let hit: Option<Vec<usize>> = cols.iter().map(|c| leaf_of(c)).collect();
+        match hit {
+            Some(ls) if !ls.is_empty() && ls.iter().all(|x| *x == ls[0]) => {
+                leaf_filters[ls[0]].push(p)
+            }
+            Some(_) => {
+                if let ScalarExpr::Binary(BinOp::Eq, a, b) = &p {
+                    if let (ScalarExpr::Col(ca), ScalarExpr::Col(cb)) = (&**a, &**b) {
+                        let (la, lb) = (leaf_of(ca), leaf_of(cb));
+                        if let (Some(la), Some(lb)) = (la, lb) {
+                            if la != lb {
+                                equis.push(Equi {
+                                    l: ca.clone(),
+                                    r: cb.clone(),
+                                    ll: la,
+                                    rl: lb,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                }
+                residual.push(p);
+            }
+            None => residual.push(p),
+        }
+    }
+
+    // Output identities for order restoration, before leaves are touched.
+    let orig_cols = if sensitive {
+        let cols = derive_cols(plan, catalog)?;
+        // Every original column must resolve uniquely by name, or the
+        // restoring projection would be ambiguous.
+        for (q, nm) in &cols {
+            let r = full_ref(q, nm);
+            let matches = cols
+                .iter()
+                .filter(|(q2, n2)| ref_matches(&r, q2.as_deref(), n2))
+                .count();
+            if matches != 1 {
+                return None;
+            }
+        }
+        Some(cols)
+    } else {
+        None
+    };
+
+    // Leaves: recurse, apply attributed filters, prune dead Scan columns.
+    let prune_refs: Option<Vec<String>> = match (sensitive, needed) {
+        (false, Some(refs)) => {
+            let mut all = refs.to_vec();
+            for e in &equis {
+                all.push(e.l.clone());
+                all.push(e.r.clone());
+            }
+            for p in &residual {
+                p.collect_cols(&mut all);
+            }
+            for fs in &leaf_filters {
+                for f in fs {
+                    f.collect_cols(&mut all);
+                }
+            }
+            Some(all)
+        }
+        _ => None,
+    };
+    let leaf_plans: Vec<Plan> = leaves
+        .iter()
+        .enumerate()
+        .map(|(i, leaf)| {
+            let mut p = cost_pass(leaf, catalog, sensitive, None);
+            if let Some(pred) = conjoin(leaf_filters[i].clone()) {
+                p = Plan::Select {
+                    input: Box::new(p),
+                    pred,
+                };
+            }
+            match &prune_refs {
+                Some(refs) => prune_scan_columns(p, catalog, refs),
+                None => p,
+            }
+        })
+        .collect();
+
+    // Enumerate the join order.
+    let cand = if n <= DP_MAX_LEAVES {
+        dp_order(&leaf_plans, &equis, catalog)
+    } else {
+        greedy_order(&leaf_plans, &equis, catalog)
+    };
+    let mut out = cand.plan;
+    if let Some(pred) = conjoin(residual) {
+        out = Plan::Select {
+            input: Box::new(out),
+            pred,
+        };
+    }
+
+    // Restore the original column order when someone above reads
+    // positionally — unless the enumerator reproduced it exactly.
+    if let Some(cols) = orig_cols {
+        let identity = cand.leaf_seq.iter().copied().eq(0..n);
+        if !identity {
+            out = Plan::Project {
+                input: Box::new(out),
+                items: cols
+                    .iter()
+                    .map(|(q, nm)| {
+                        let r = full_ref(q, nm);
+                        (ScalarExpr::col(r.clone()), r)
+                    })
+                    .collect(),
+            };
+        }
+    }
+    Some(out)
+}
+
+/// Drop Scan columns no reference in `refs` can match, behind a qualified
+/// projection. Applies to bare scans and filtered scans only — exactly the
+/// leaves whose schema is known from the catalog.
+fn prune_scan_columns(leaf: Plan, catalog: &Catalog, refs: &[String]) -> Plan {
+    let scan = match &leaf {
+        Plan::Scan { .. } => &leaf,
+        Plan::Select { input, .. } if matches!(**input, Plan::Scan { .. }) => input,
+        _ => return leaf,
+    };
+    let Plan::Scan { table, alias } = scan else {
+        return leaf;
+    };
+    let Ok(rel) = catalog.relation(table) else {
+        return leaf;
+    };
+    let q = alias.as_deref().unwrap_or(table.as_str());
+    let cols = rel.schema().columns();
+    let kept: Vec<String> = cols
+        .iter()
+        .filter(|c| refs.iter().any(|r| ref_matches(r, Some(q), &c.name)))
+        .map(|c| format!("{q}.{}", c.name))
+        .collect();
+    if kept.is_empty() || kept.len() == cols.len() {
+        return leaf;
+    }
+    Plan::Project {
+        input: Box::new(leaf),
+        items: kept
+            .into_iter()
+            .map(|r| (ScalarExpr::col(r.clone()), r))
+            .collect(),
+    }
+}
+
+/// Join keys applicable between two leaf sets, oriented left→right.
+fn keys_between(equis: &[Equi], s1: usize, s2: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for e in equis {
+        if s1 & (1 << e.ll) != 0 && s2 & (1 << e.rl) != 0 {
+            out.push((e.l.clone(), e.r.clone()));
+        } else if s2 & (1 << e.ll) != 0 && s1 & (1 << e.rl) != 0 {
+            out.push((e.r.clone(), e.l.clone()));
+        }
+    }
+    out
+}
+
+fn build_join(left: Plan, right: Plan, keys: Vec<(String, String)>) -> Plan {
+    if keys.is_empty() {
+        Plan::Product {
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    } else {
+        Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            on: keys,
+            residual: None,
+            kind: crate::ops::JoinType::Inner,
+        }
+    }
+}
+
+fn leaf_cand(i: usize, plan: &Plan) -> Cand {
+    Cand {
+        plan: plan.clone(),
+        cost: 0.0,
+        leaf_seq: vec![i],
+    }
+}
+
+/// Exact join-order search: dynamic programming over subset bitsets,
+/// minimizing `C_out` (summed intermediate cardinalities). Deterministic:
+/// masks ascend, submasks descend, strict improvement only.
+fn dp_order(leaf_plans: &[Plan], equis: &[Equi], catalog: &Catalog) -> Cand {
+    let n = leaf_plans.len();
+    let full = (1usize << n) - 1;
+    let mut best: Vec<Option<Cand>> = (0..=full).map(|_| None).collect();
+    for (i, p) in leaf_plans.iter().enumerate() {
+        best[1 << i] = Some(leaf_cand(i, p));
+    }
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let mut s1 = (mask - 1) & mask;
+        while s1 > 0 {
+            let s2 = mask & !s1;
+            if let (Some(a), Some(b)) = (&best[s1], &best[s2]) {
+                let plan = build_join(a.plan.clone(), b.plan.clone(), keys_between(equis, s1, s2));
+                let rows = estimate(&plan, catalog).rows;
+                let cost = a.cost + b.cost + rows;
+                if best[mask].as_ref().is_none_or(|c| cost < c.cost) {
+                    let mut seq = a.leaf_seq.clone();
+                    seq.extend(&b.leaf_seq);
+                    best[mask] = Some(Cand {
+                        plan,
+                        cost,
+                        leaf_seq: seq,
+                    });
+                }
+            }
+            s1 = (s1 - 1) & mask;
+        }
+    }
+    best[full].take().expect("DP covers the full leaf set")
+}
+
+/// Greedy fallback for wide regions: repeatedly join the pair with the
+/// smallest estimated output. Deterministic tie-break on pair index.
+fn greedy_order(leaf_plans: &[Plan], equis: &[Equi], catalog: &Catalog) -> Cand {
+    let mut comps: Vec<(usize, Cand)> = leaf_plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (1usize << i, leaf_cand(i, p)))
+        .collect();
+    while comps.len() > 1 {
+        let mut pick: Option<(f64, usize, usize)> = None;
+        for i in 0..comps.len() {
+            for j in (i + 1)..comps.len() {
+                let plan = build_join(
+                    comps[i].1.plan.clone(),
+                    comps[j].1.plan.clone(),
+                    keys_between(equis, comps[i].0, comps[j].0),
+                );
+                let rows = estimate(&plan, catalog).rows;
+                if pick.is_none_or(|(r, _, _)| rows < r) {
+                    pick = Some((rows, i, j));
+                }
+            }
+        }
+        let (rows, i, j) = pick.expect("at least one pair");
+        let (mj, cj) = comps.remove(j);
+        let (mi, ci) = comps.remove(i);
+        let plan = build_join(ci.plan, cj.plan, keys_between(equis, mi, mj));
+        let mut seq = ci.leaf_seq;
+        seq.extend(cj.leaf_seq);
+        comps.insert(
+            i,
+            (
+                mi | mj,
+                Cand {
+                    plan,
+                    cost: ci.cost + cj.cost + rows,
+                    leaf_seq: seq,
+                },
+            ),
+        );
+    }
+    comps.pop().expect("one component remains").1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::BinOp;
+    use crate::ops::anti_join::AntiJoinImpl;
     use crate::plan::execute;
     use crate::profile::oracle_like;
     use crate::JoinType;
@@ -336,4 +1007,209 @@ mod tests {
         let (b, _) = execute(&twice, &c, &oracle_like()).unwrap();
         assert!(a.same_rows_unordered(&b));
     }
+
+    // --- cost-based pass ---
+
+    /// A 30-edge chain graph: statistics make V highly selective under a
+    /// `vw < k` predicate.
+    fn chain_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut e = Relation::new(edge_schema());
+        let mut v = Relation::new(node_schema());
+        for i in 0..30i64 {
+            e.extend([row![i, i + 1, 1.0]]).unwrap();
+        }
+        for i in 0..=30i64 {
+            v.extend([row![i, i as f64]]).unwrap();
+        }
+        c.create_table("E", e).unwrap();
+        c.create_table("V", v).unwrap();
+        c
+    }
+
+    /// σ_{V.vw < 2.0}((E1 ⋈_{E1.T=V.ID} V) ⋈_{V.ID=E2.F} E2) — the filter
+    /// selects 2 of 31 nodes, so the optimal order starts from V.
+    fn three_way() -> Plan {
+        Plan::Select {
+            input: Box::new(Plan::Join {
+                left: Box::new(Plan::Join {
+                    left: Box::new(Plan::scan_as("E", "E1")),
+                    right: Box::new(Plan::scan("V")),
+                    on: vec![("E1.T".into(), "V.ID".into())],
+                    residual: None,
+                    kind: JoinType::Inner,
+                }),
+                right: Box::new(Plan::scan_as("E", "E2")),
+                on: vec![("V.ID".into(), "E2.F".into())],
+                residual: None,
+                kind: JoinType::Inner,
+            }),
+            pred: ScalarExpr::binary(BinOp::Lt, ScalarExpr::col("V.vw"), ScalarExpr::lit(2.0)),
+        }
+    }
+
+    #[test]
+    fn cost_plan_is_equivalent_and_order_preserving() {
+        let c = chain_catalog();
+        let off = optimize_plan(&three_way(), &c, Optimizer::Off);
+        let cost = optimize_plan(&three_way(), &c, Optimizer::Cost);
+        let (a, _) = execute(&off, &c, &oracle_like()).unwrap();
+        let (b, _) = execute(&cost, &c, &oracle_like()).unwrap();
+        assert!(a.same_rows_unordered(&b), "reordered plan changed the result");
+        // positional consumers above must see the same column order
+        let names = |r: &Relation| -> Vec<(Option<String>, String)> {
+            r.schema()
+                .columns()
+                .iter()
+                .map(|col| (col.qualifier.clone(), col.name.clone()))
+                .collect()
+        };
+        assert_eq!(names(&a), names(&b), "output column order must be restored");
+    }
+
+    #[test]
+    fn cost_plan_reduces_intermediate_rows() {
+        let c = chain_catalog();
+        let off = optimize_plan(&three_way(), &c, Optimizer::Off);
+        let cost = optimize_plan(&three_way(), &c, Optimizer::Cost);
+        let (_, s_off) = execute(&off, &c, &oracle_like()).unwrap();
+        let (_, s_cost) = execute(&cost, &c, &oracle_like()).unwrap();
+        assert!(
+            s_cost.rows_produced < s_off.rows_produced,
+            "cost plan should produce fewer intermediate rows ({} vs {})",
+            s_cost.rows_produced,
+            s_off.rows_produced
+        );
+    }
+
+    #[test]
+    fn reordering_never_drops_or_duplicates_relations() {
+        let c = chain_catalog();
+        let cost = optimize_plan(&three_way(), &c, Optimizer::Cost);
+        let mut before = Vec::new();
+        three_way().collect_tables(&mut before);
+        let mut after = Vec::new();
+        cost.collect_tables(&mut after);
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn cost_pass_is_deterministic() {
+        let c = chain_catalog();
+        let a = optimize_plan(&three_way(), &c, Optimizer::Cost);
+        let b = optimize_plan(&three_way(), &c, Optimizer::Cost);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same plan + same stats must give the same shape");
+    }
+
+    fn has_project_over_scan(p: &Plan) -> bool {
+        match p {
+            Plan::Project { input, .. }
+                if matches!(**input, Plan::Scan { .. } | Plan::Select { .. }) =>
+            {
+                true
+            }
+            Plan::Scan { .. } | Plan::Values(_) => false,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Window { input, .. }
+            | Plan::Distinct(input) => has_project_over_scan(input),
+            Plan::Join { left, right, .. }
+            | Plan::Product { left, right }
+            | Plan::UnionAll { left, right }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right }
+            | Plan::AntiJoin { left, right, .. }
+            | Plan::SemiJoin { left, right, .. } => {
+                has_project_over_scan(left) || has_project_over_scan(right)
+            }
+        }
+    }
+
+    #[test]
+    fn projection_pruning_fires_under_a_project() {
+        let c = chain_catalog();
+        let plan = Plan::Project {
+            input: Box::new(three_way()),
+            items: vec![(ScalarExpr::col("E1.F"), "F".into())],
+        };
+        let cost = optimize_plan(&plan, &c, Optimizer::Cost);
+        assert!(
+            has_project_over_scan(&cost),
+            "expected a pruning projection over a scan leaf, got {cost:?}"
+        );
+        let off = optimize_plan(&plan, &c, Optimizer::Off);
+        let (a, _) = execute(&off, &c, &oracle_like()).unwrap();
+        let (b, _) = execute(&cost, &c, &oracle_like()).unwrap();
+        assert!(a.same_rows_unordered(&b));
+    }
+
+    fn anti_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        // small probe side, large null-free build side
+        let mut small = Relation::new(edge_schema());
+        small
+            .extend([row![1, 2, 1.0], row![2, 3, 1.0], row![9, 99, 1.0]])
+            .unwrap();
+        c.create_table("S", small).unwrap();
+        let mut big = Relation::new(edge_schema());
+        for i in 0..40i64 {
+            big.extend([row![i, i + 1, 1.0]]).unwrap();
+        }
+        c.create_table("B", big).unwrap();
+        c
+    }
+
+    fn anti(imp: AntiJoinImpl) -> Plan {
+        Plan::AntiJoin {
+            left: Box::new(Plan::scan("S")),
+            right: Box::new(Plan::scan("B")),
+            on: vec![("S.T".into(), "B.F".into())],
+            imp,
+        }
+    }
+
+    #[test]
+    fn semijoin_reduction_fires_when_safe() {
+        let c = anti_catalog();
+        for imp in AntiJoinImpl::ALL {
+            let cost = optimize_plan(&anti(imp), &c, Optimizer::Cost);
+            let Plan::AntiJoin { right, .. } = &cost else {
+                panic!("anti-join survives, got {cost:?}")
+            };
+            assert!(
+                matches!(**right, Plan::SemiJoin { .. }),
+                "build side should be semi-join reduced for {imp:?}, got {right:?}"
+            );
+            let (a, _) = execute(&anti(imp), &c, &oracle_like()).unwrap();
+            let (b, _) = execute(&cost, &c, &oracle_like()).unwrap();
+            assert!(a.same_rows_unordered(&b), "reduction changed {imp:?} result");
+        }
+    }
+
+    #[test]
+    fn semijoin_reduction_skipped_on_nullable_keys() {
+        use aio_storage::Value;
+        let mut c = anti_catalog();
+        // a NULL key on the build side makes NOT IN three-valued: dropping
+        // unmatched build rows would change the result, so no reduction.
+        c.insert_rows(
+            "B",
+            vec![row![Value::Null, 7, 1.0]],
+            aio_storage::WalPolicy::None,
+        )
+        .unwrap();
+        c.analyze("B").unwrap();
+        let cost = optimize_plan(&anti(AntiJoinImpl::NotIn), &c, Optimizer::Cost);
+        let Plan::AntiJoin { right, .. } = &cost else {
+            panic!("anti-join survives")
+        };
+        assert!(
+            matches!(**right, Plan::Scan { .. }),
+            "nullable build key must not be reduced, got {right:?}"
+        );
+    }
+
 }

@@ -209,6 +209,10 @@ pub struct Evaluator<'a> {
     pub stats: ExecStats,
     tracer: Option<&'a aio_trace::Tracer>,
     node_seq: u64,
+    /// Estimated output rows per pre-order node id, recomputed from live
+    /// catalog statistics at each `eval_root` when tracing — so EXPLAIN
+    /// ANALYZE shows per-iteration estimates tracking the shrinking delta.
+    est: Vec<u64>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -219,6 +223,7 @@ impl<'a> Evaluator<'a> {
             stats: ExecStats::new(),
             tracer: None,
             node_seq: 0,
+            est: Vec::new(),
         }
     }
 
@@ -243,6 +248,9 @@ impl<'a> Evaluator<'a> {
     /// identical `node` ids (EXPLAIN aggregates across invocations by id).
     pub fn eval_root(&mut self, plan: &Plan) -> Result<Relation> {
         self.node_seq = 0;
+        if self.tracer.is_some() {
+            self.est = crate::stats::estimate_nodes(plan, self.catalog);
+        }
         self.eval(plan)
     }
 
@@ -254,6 +262,9 @@ impl<'a> Evaluator<'a> {
         self.node_seq += 1;
         let span = t.span(op_name(plan));
         span.field("node", node);
+        if let Some(&e) = self.est.get(node as usize) {
+            span.field("est_rows", e);
+        }
         if let Plan::Scan { table, alias } = plan {
             span.field("table", table.as_str());
             if let Some(a) = alias {

@@ -31,6 +31,41 @@ pub enum AggStrategy {
     Sort,
 }
 
+/// Plan-optimization level.
+///
+/// The paper's Algorithm 1 compiles each with+ subquery to a *fixed*
+/// left-deep plan and re-executes it every iteration, so the paper-faithful
+/// profiles default to [`Optimizer::Off`]: observed runtimes then reflect
+/// the mechanisms under study (WAL policy, join strategy, indexes), not our
+/// plan search. The other two levels are opt-in ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Optimizer {
+    /// Execute plans exactly as compiled (paper-faithful fixed plans).
+    Off,
+    /// Heuristic rewrites only: predicate pushdown (`push_selections`).
+    Rules,
+    /// Full cost-based pass: stats-driven join ordering (DP ≤ 8 relations,
+    /// greedy above), predicate pushdown, projection pruning, and semi-join
+    /// reduction for anti-join inputs.
+    Cost,
+}
+
+impl Optimizer {
+    /// Short lowercase label for executor names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Optimizer::Off => "off",
+            Optimizer::Rules => "rules",
+            Optimizer::Cost => "cost",
+        }
+    }
+
+    /// All levels, in increasing aggressiveness.
+    pub fn all() -> [Optimizer; 3] {
+        [Optimizer::Off, Optimizer::Rules, Optimizer::Cost]
+    }
+}
+
 /// One emulated RDBMS.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineProfile {
@@ -58,6 +93,9 @@ pub struct EngineProfile {
     /// rather than just the final rows. Off by default: snapshots cost one
     /// relation clone per iteration.
     pub capture_snapshots: bool,
+    /// Plan-optimization level. `Off` (every paper profile) keeps the
+    /// fixed Algorithm 1 plans; `Rules`/`Cost` enable rewrites.
+    pub optimizer: Optimizer,
 }
 
 impl EngineProfile {
@@ -70,6 +108,12 @@ impl EngineProfile {
     /// Builder-style toggle for per-iteration state snapshots.
     pub fn with_snapshots(mut self, capture: bool) -> Self {
         self.capture_snapshots = capture;
+        self
+    }
+
+    /// Builder-style override of the plan-optimization level.
+    pub fn with_optimizer(mut self, optimizer: Optimizer) -> Self {
+        self.optimizer = optimizer;
         self
     }
 
@@ -91,6 +135,7 @@ pub fn oracle_like() -> EngineProfile {
         plan_uses_indexes: false,
         parallelism: 1,
         capture_snapshots: false,
+        optimizer: Optimizer::Off,
     }
 }
 
@@ -106,6 +151,7 @@ pub fn db2_like() -> EngineProfile {
         plan_uses_indexes: false,
         parallelism: 1,
         capture_snapshots: false,
+        optimizer: Optimizer::Off,
     }
 }
 
@@ -126,6 +172,7 @@ pub fn postgres_like(with_indexes: bool) -> EngineProfile {
         plan_uses_indexes: with_indexes,
         parallelism: 1,
         capture_snapshots: false,
+        optimizer: Optimizer::Off,
     }
 }
 

@@ -98,11 +98,14 @@ fn bench_early_selection(c: &mut Criterion) {
     let g = generate(GraphKind::PowerLaw, 800, 5_000, true, 93);
     let mut group = c.benchmark_group("early_selection_pushdown");
     group.sample_size(10);
-    for (name, optimize) in [("off", false), ("on", true)] {
+    for (name, level) in [
+        ("off", aio_algebra::Optimizer::Off),
+        ("on", aio_algebra::Optimizer::Rules),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut db = db_for(&g, &oracle_like(), EdgeStyle::PageRank).unwrap();
-                db.optimize = optimize;
+                db.set_optimizer(level);
                 db.set_param("c", 0.85);
                 db.set_param("n", g.node_count() as f64);
                 black_box(db.execute(&algos::pagerank::sql99_fig9(8)).unwrap())

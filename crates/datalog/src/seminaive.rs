@@ -30,9 +30,16 @@ pub struct RoundStat {
 }
 
 /// Bottom-up evaluation state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SemiNaive {
     rels: HashMap<String, RelSet>,
+    /// Greedily reorder rule-body atoms before binding: delta atom first,
+    /// then maximum bound-variable overlap, tie-broken on smaller relation
+    /// then declaration order. The joined result set and the derivation
+    /// counts are order-invariant; only the intermediate binding work
+    /// changes. On by default; turn off to evaluate bodies exactly as
+    /// written.
+    pub reorder: bool,
     /// Number of iterations the last `run` took.
     pub iterations: usize,
     /// Facts derived (including duplicates suppressed), for cost reporting.
@@ -54,6 +61,18 @@ fn parse_term(s: &str) -> Term {
     }
 }
 
+impl Default for SemiNaive {
+    fn default() -> Self {
+        SemiNaive {
+            rels: HashMap::new(),
+            reorder: true,
+            iterations: 0,
+            derivations: 0,
+            rounds: Vec::new(),
+        }
+    }
+}
+
 impl SemiNaive {
     pub fn new() -> Self {
         SemiNaive::default()
@@ -71,16 +90,71 @@ impl SemiNaive {
         self.rels.get(pred)
     }
 
+    /// Pick a binding order for the rule body: the delta atom (smallest and
+    /// shrinking) leads, then greedily the atom sharing the most already-
+    /// bound variables — avoiding accidental cross products — with ties
+    /// broken by smaller relation cardinality and then declaration order.
+    fn atom_order(
+        &self,
+        rule: &Rule,
+        delta: &HashMap<String, RelSet>,
+        use_delta_at: Option<usize>,
+    ) -> Vec<usize> {
+        let n = rule.body.len();
+        if !self.reorder || n <= 1 {
+            return (0..n).collect();
+        }
+        let size = |i: usize| -> usize {
+            let atom = &rule.body[i];
+            if Some(i) == use_delta_at {
+                delta.get(&atom.pred).map_or(0, |s| s.len())
+            } else {
+                self.rels.get(&atom.pred).map_or(0, |s| s.len())
+            }
+        };
+        let vars = |i: usize| -> Vec<&str> {
+            rule.body[i]
+                .args
+                .iter()
+                .filter(|a| a.parse::<i64>().is_err())
+                .map(|a| a.as_str())
+                .collect()
+        };
+        let mut order = Vec::with_capacity(n);
+        let mut bound: HashSet<&str> = HashSet::new();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        if let Some(d) = use_delta_at {
+            order.push(d);
+            remaining.retain(|&i| i != d);
+            bound.extend(vars(d));
+        }
+        while !remaining.is_empty() {
+            let best = remaining
+                .iter()
+                .copied()
+                .min_by_key(|&i| {
+                    let overlap = vars(i).iter().filter(|v| bound.contains(*v)).count();
+                    (std::cmp::Reverse(overlap), size(i), i)
+                })
+                .expect("remaining is non-empty");
+            order.push(best);
+            remaining.retain(|&i| i != best);
+            bound.extend(vars(best));
+        }
+        order
+    }
+
     fn eval_rule(
         &self,
         rule: &Rule,
         delta: &HashMap<String, RelSet>,
         use_delta_at: Option<usize>,
     ) -> Vec<Tuple> {
-        // Bind body atoms left to right with a substitution map.
+        // Bind body atoms in the chosen order with a substitution map.
         let empty: RelSet = RelSet::new();
         let mut results: Vec<HashMap<String, i64>> = vec![HashMap::new()];
-        for (i, atom) in rule.body.iter().enumerate() {
+        for i in self.atom_order(rule, delta, use_delta_at) {
+            let atom = &rule.body[i];
             debug_assert!(!atom.negated, "semi-naive evaluator is positive-only");
             let source: &RelSet = if Some(i) == use_delta_at {
                 delta.get(&atom.pred).unwrap_or(&empty)
@@ -334,6 +408,62 @@ mod tests {
         );
         assert_eq!(ev.rounds.last().unwrap().new_tuples, 0);
         assert!(ev.rounds.iter().all(|r| r.derivations >= r.new_tuples as u64));
+    }
+
+    #[test]
+    fn atom_reordering_is_result_and_derivation_invariant() {
+        // Right-linear TC puts the recursive atom *second*, so the greedy
+        // order pulls the delta atom ahead of the body's written order.
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new("tc").with_args(&["X", "Y"]),
+                vec![Atom::new("e").with_args(&["X", "Y"])],
+            ),
+            Rule::new(
+                Atom::new("tc").with_args(&["X", "Z"]),
+                vec![
+                    Atom::new("e").with_args(&["X", "Y"]),
+                    Atom::new("tc").with_args(&["Y", "Z"]),
+                ],
+            ),
+        ]);
+        let edges: Vec<Vec<i64>> = (1..6).map(|i| vec![i, i + 1]).collect();
+        let run = |reorder: bool| {
+            let mut ev = SemiNaive::new();
+            ev.reorder = reorder;
+            ev.add_facts("e", edges.clone());
+            let sizes = ev.run(&p, 100);
+            (sizes, ev.derivations, ev.rounds.clone())
+        };
+        let (s_on, d_on, r_on) = run(true);
+        let (s_off, d_off, r_off) = run(false);
+        assert_eq!(s_on, s_off, "fixpoint must not depend on binding order");
+        assert_eq!(d_on, d_off, "derivation counts are order-invariant");
+        assert_eq!(r_on, r_off, "per-round telemetry is order-invariant");
+    }
+
+    #[test]
+    fn reordering_avoids_cross_products_on_three_atom_bodies() {
+        // tri(X,Y,Z) :- e(X,Y), f(Y,Z), g(Z,X) — whatever order the greedy
+        // pass picks, results must match the written-order evaluation.
+        let p = Program::new(vec![Rule::new(
+            Atom::new("tri").with_args(&["X", "Y", "Z"]),
+            vec![
+                Atom::new("e").with_args(&["X", "Y"]),
+                Atom::new("f").with_args(&["Y", "Z"]),
+                Atom::new("g").with_args(&["Z", "X"]),
+            ],
+        )]);
+        let run = |reorder: bool| {
+            let mut ev = SemiNaive::new();
+            ev.reorder = reorder;
+            ev.add_facts("e", vec![vec![1, 2], vec![2, 3]]);
+            ev.add_facts("f", vec![vec![2, 5], vec![3, 6], vec![3, 7]]);
+            ev.add_facts("g", vec![vec![5, 1], vec![6, 2], vec![7, 9]]);
+            ev.run(&p, 10);
+            ev.relation("tri").unwrap().clone()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

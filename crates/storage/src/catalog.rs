@@ -11,7 +11,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::index::SortedIndex;
-use crate::relation::{Relation, Row};
+use crate::relation::{Relation, RelationStats, Row};
 use crate::wal::{Wal, WalPolicy};
 use std::collections::HashMap;
 
@@ -23,6 +23,11 @@ pub struct TableEntry {
     pub temp: bool,
     /// Sorted indexes built over this table (Exp-A, Fig. 10).
     pub indexes: Vec<SortedIndex>,
+    /// Optimizer statistics. Base tables get them at load time; temp
+    /// tables only via an explicit [`Catalog::analyze`] (the paper's
+    /// PostgreSQL pain point is exactly their absence). Mutation through
+    /// `insert_rows`/`truncate`/`relation_mut` invalidates them.
+    pub stats: Option<RelationStats>,
 }
 
 /// Named relations plus the WAL.
@@ -57,12 +62,16 @@ impl Catalog {
         if self.tables.contains_key(&key) {
             return Err(StorageError::TableExists(name.to_string()));
         }
+        // Base tables are analyzed at load time; temp tables start without
+        // statistics, like the paper's PostgreSQL temp tables.
+        let stats = (!temp).then(|| rel.collect_stats());
         self.tables.insert(
             key,
             TableEntry {
                 rel,
                 temp,
                 indexes: Vec::new(),
+                stats,
             },
         );
         Ok(())
@@ -72,14 +81,36 @@ impl Catalog {
     /// `drop`/`alter` union-by-update implementation and by experiment
     /// set-up code).
     pub fn create_or_replace(&mut self, name: &str, rel: Relation, temp: bool) {
+        let stats = (!temp).then(|| rel.collect_stats());
         self.tables.insert(
             norm(name),
             TableEntry {
                 rel,
                 temp,
                 indexes: Vec::new(),
+                stats,
             },
         );
+    }
+
+    /// `ANALYZE name` — (re)collect statistics for one table, temp or not.
+    /// This is the cheap per-iteration refresh path for the recursive
+    /// delta relation under the cost-based optimizer.
+    pub fn analyze(&mut self, name: &str) -> Result<()> {
+        let e = self.entry_mut_keep_stats(name)?;
+        e.stats = Some(e.rel.collect_stats());
+        Ok(())
+    }
+
+    /// Statistics for `name`, if collected and still valid.
+    pub fn stats(&self, name: &str) -> Option<&RelationStats> {
+        self.tables.get(&norm(name)).and_then(|e| e.stats.as_ref())
+    }
+
+    fn entry_mut_keep_stats(&mut self, name: &str) -> Result<&mut TableEntry> {
+        self.tables
+            .get_mut(&norm(name))
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
     pub fn drop_table(&mut self, name: &str) -> Result<Relation> {
@@ -113,10 +144,13 @@ impl Catalog {
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
+    /// Mutable entry access. Conservatively drops the table's statistics:
+    /// the caller may mutate rows, and stale sketches are worse for the
+    /// optimizer than none. Use [`Catalog::analyze`] to re-collect.
     pub fn entry_mut(&mut self, name: &str) -> Result<&mut TableEntry> {
-        self.tables
-            .get_mut(&norm(name))
-            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+        let e = self.entry_mut_keep_stats(name)?;
+        e.stats = None;
+        Ok(e)
     }
 
     pub fn relation(&self, name: &str) -> Result<&Relation> {
@@ -148,9 +182,10 @@ impl Catalog {
         e.rel.extend(rows)
     }
 
-    /// Build (or rebuild) a sorted index on `cols`.
+    /// Build (or rebuild) a sorted index on `cols`. Leaves statistics
+    /// intact — indexing does not change row contents.
     pub fn build_index(&mut self, name: &str, cols: &[usize]) -> Result<()> {
-        let e = self.entry_mut(name)?;
+        let e = self.entry_mut_keep_stats(name)?;
         if e.indexes.iter().any(|i| i.covers(cols)) {
             return Ok(());
         }

@@ -27,7 +27,7 @@ pub use error::{Result, StorageError};
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedIndex};
 pub use keyidx::{key_has_null, key_hash, keys_eq, KeyIndex};
-pub use relation::{edge_schema, node_schema, Key, Relation, Row};
+pub use relation::{edge_schema, node_schema, ColumnSketch, Key, Relation, RelationStats, Row};
 pub use schema::{Column, DataType, Schema};
 pub use value::Value;
 pub use wal::{Wal, WalPolicy};

@@ -263,6 +263,78 @@ impl Relation {
     }
 }
 
+/// Per-column sketch: distinct count plus min/max (NULLs excluded), the
+/// inputs of textbook selectivity formulas. An exact pass — relations here
+/// are in-memory, so one scan is cheap relative to query execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnSketch {
+    /// Number of distinct non-NULL values.
+    pub ndv: usize,
+    /// Smallest non-NULL value, if any row has one.
+    pub min: Option<Value>,
+    /// Largest non-NULL value, if any row has one.
+    pub max: Option<Value>,
+    /// Rows whose value in this column is NULL.
+    pub nulls: usize,
+}
+
+/// Table-level statistics: cardinality + one [`ColumnSketch`] per column,
+/// positionally aligned with the schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationStats {
+    pub rows: usize,
+    pub columns: Vec<ColumnSketch>,
+}
+
+impl RelationStats {
+    /// The sketch for the column at schema position `i`, if in range.
+    pub fn column(&self, i: usize) -> Option<&ColumnSketch> {
+        self.columns.get(i)
+    }
+}
+
+impl Relation {
+    /// Collect [`RelationStats`] with a single scan: per-column distinct
+    /// counts via a hash set plus running min/max under the total `Ord` on
+    /// [`Value`] (NULLs counted separately, excluded from NDV and bounds).
+    pub fn collect_stats(&self) -> RelationStats {
+        let arity = self.schema.arity();
+        let mut seen: Vec<crate::hash::FxHashSet<&Value>> =
+            (0..arity).map(|_| Default::default()).collect();
+        let mut columns: Vec<ColumnSketch> = (0..arity)
+            .map(|_| ColumnSketch {
+                ndv: 0,
+                min: None,
+                max: None,
+                nulls: 0,
+            })
+            .collect();
+        for row in &self.rows {
+            for (i, v) in row.iter().enumerate() {
+                if v.is_null() {
+                    columns[i].nulls += 1;
+                    continue;
+                }
+                seen[i].insert(v);
+                let c = &mut columns[i];
+                if c.min.as_ref().is_none_or(|m| v < m) {
+                    c.min = Some(v.clone());
+                }
+                if c.max.as_ref().is_none_or(|m| v > m) {
+                    c.max = Some(v.clone());
+                }
+            }
+        }
+        for (c, s) in columns.iter_mut().zip(&seen) {
+            c.ndv = s.len();
+        }
+        RelationStats {
+            rows: self.rows.len(),
+            columns,
+        }
+    }
+}
+
 /// Convenience: the paper's canonical edge relation schema `E(F, T, ew)`.
 pub fn edge_schema() -> Schema {
     Schema::of(&[

@@ -8,9 +8,9 @@
 //! state differs, via the profile's snapshot knob.
 
 use crate::corpus::{augment_spanning_cycle, NamedGraph};
-use crate::exec::{executors_for, run_algo, ExecKind, Executor, Params};
+use crate::exec::{executors_for_opt, run_algo, ExecKind, Executor, Params};
 use crate::result::AlgoResult;
-use aio_algebra::EngineProfile;
+use aio_algebra::{EngineProfile, Optimizer};
 use aio_algos::{by_key, Tolerance, TABLE2};
 use aio_graph::{reference, Graph};
 use aio_withplus::QueryResult;
@@ -22,6 +22,9 @@ use std::collections::BTreeSet;
 pub struct MatrixConfig {
     pub algos: Vec<&'static str>,
     pub parallelism: Vec<usize>,
+    /// Plan-optimization levels to sweep the with+ PSM over. The default
+    /// `[Off]` keeps the paper-faithful fixed plans only.
+    pub optimizers: Vec<Optimizer>,
     pub params: Params,
     /// Localize with+-vs-with+ divergences to their first iteration.
     pub localize: bool,
@@ -32,6 +35,7 @@ impl Default for MatrixConfig {
         MatrixConfig {
             algos: TABLE2.iter().filter(|a| a.implemented).map(|a| a.key).collect(),
             parallelism: vec![1, 2, 8],
+            optimizers: vec![Optimizer::Off],
             params: Params::default(),
             localize: true,
         }
@@ -45,6 +49,28 @@ impl MatrixConfig {
         MatrixConfig {
             algos: vec!["wcc", "sssp", "pr", "tc"],
             parallelism: vec![1, 2],
+            ..MatrixConfig::default()
+        }
+    }
+
+    /// The optimizer-equivalence matrix: every Table 2 algorithm under
+    /// optimizer ∈ {Off, Rules, Cost} × parallelism {1, 8}, each result
+    /// checked against the textbook oracle / baseline under the
+    /// algorithm's tolerance.
+    pub fn optimizer_equivalence() -> Self {
+        MatrixConfig {
+            parallelism: vec![1, 8],
+            optimizers: Optimizer::all().to_vec(),
+            ..MatrixConfig::default()
+        }
+    }
+
+    /// A tier-1-sized slice of [`MatrixConfig::optimizer_equivalence`].
+    pub fn optimizer_smoke() -> Self {
+        MatrixConfig {
+            algos: vec!["wcc", "sssp", "pr", "tc"],
+            parallelism: vec![1, 8],
+            optimizers: Optimizer::all().to_vec(),
             ..MatrixConfig::default()
         }
     }
@@ -234,7 +260,7 @@ pub fn run_matrix(corpus: &[NamedGraph], cfg: &MatrixConfig) -> MatrixReport {
             } else {
                 named.graph.clone()
             };
-            let execs = executors_for(key, &cfg.parallelism);
+            let execs = executors_for_opt(key, &cfg.parallelism, &cfg.optimizers);
             let mut results: Vec<(Executor, AlgoResult)> = Vec::new();
             for ex in execs {
                 report.runs += 1;

@@ -14,7 +14,7 @@
 //! trajectories coincide at that offset.
 
 use crate::result::AlgoResult;
-use aio_algebra::{db2_like, oracle_like, postgres_like, EngineProfile};
+use aio_algebra::{db2_like, oracle_like, postgres_like, EngineProfile, Optimizer};
 use aio_algos::{by_key, Engine, Tolerance};
 use aio_graph::engines::{Bsp, DatalogEngine, VertexCentric};
 use aio_graph::{reference, Graph};
@@ -93,6 +93,20 @@ fn withplus_profiles() -> Vec<EngineProfile> {
 /// sweep for the with+ PSM. Property-oracle algorithms skip the `Oracle`
 /// engine (their answers are non-unique; validation happens separately).
 pub fn executors_for(key: &str, parallelism: &[usize]) -> Vec<Executor> {
+    executors_for_opt(key, parallelism, &[Optimizer::Off])
+}
+
+/// [`executors_for`] additionally sweeping the with+ PSM over plan
+/// optimization levels. Non-`Off` levels change the physical plan shape —
+/// and therefore row scan order — so they get their *own* engine family:
+/// algorithms whose answers are only comparable within one family
+/// (property oracles, MCL's tie-breaking argmax) must not be compared
+/// across optimizer modes.
+pub fn executors_for_opt(
+    key: &str,
+    parallelism: &[usize],
+    optimizers: &[Optimizer],
+) -> Vec<Executor> {
     let spec = match by_key(key) {
         Some(s) => s,
         None => return Vec::new(),
@@ -103,13 +117,20 @@ pub fn executors_for(key: &str, parallelism: &[usize]) -> Vec<Executor> {
         match engine {
             Engine::WithPlus => {
                 for profile in withplus_profiles() {
-                    for &p in parallelism {
-                        let prof = profile.clone().with_parallelism(p);
-                        out.push(Executor {
-                            name: format!("with+/{} p{p}", prof.name),
-                            family: format!("with+/{}", prof.name),
-                            kind: ExecKind::WithPlus(prof),
-                        });
+                    for &opt in optimizers {
+                        for &p in parallelism {
+                            let prof =
+                                profile.clone().with_parallelism(p).with_optimizer(opt);
+                            let suffix = match opt {
+                                Optimizer::Off => String::new(),
+                                o => format!(" opt={}", o.label()),
+                            };
+                            out.push(Executor {
+                                name: format!("with+/{} p{p}{suffix}", prof.name),
+                                family: format!("with+/{}{suffix}", prof.name),
+                                kind: ExecKind::WithPlus(prof),
+                            });
+                        }
                     }
                 }
             }
@@ -457,6 +478,26 @@ mod tests {
         let mis = executors_for("mis", &[1]);
         assert!(mis.iter().all(|e| !matches!(e.kind, ExecKind::Oracle)));
         assert!(executors_for("nope", &[1]).is_empty());
+    }
+
+    #[test]
+    fn optimizer_sweep_multiplies_withplus_and_isolates_families() {
+        let pr = executors_for_opt("pr", &[1], &Optimizer::all());
+        // 3 profiles × 3 optimizer levels + sql99/postgres + 3 natives + oracle
+        assert_eq!(pr.len(), 3 * 3 + 1 + 3 + 1, "{pr:#?}");
+        assert!(pr.iter().any(|e| e.name.ends_with(" opt=cost")));
+        assert!(pr.iter().any(|e| e.name.ends_with(" opt=rules")));
+        // Off keeps the unsuffixed names so default counts stay stable
+        assert!(pr.iter().any(|e| e.name == "with+/oracle_like p1"));
+        // non-Off levels fork their own engine family (plan shape changes
+        // row order, so within-family-only algorithms must not cross)
+        for e in &pr {
+            if e.name.contains(" opt=") {
+                assert!(e.family.contains(" opt="), "{e:?}");
+            } else {
+                assert!(!e.family.contains(" opt="), "{e:?}");
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::lower::{lower_select, LowerCtx};
 use crate::parser::{Parser, Statement};
 use crate::psm::{PsmRunner, QueryResult, RunStats};
 use aio_algebra::ops::{AntiJoinImpl, UbuImpl};
-use aio_algebra::{EngineProfile, Evaluator};
+use aio_algebra::{optimize_plan, EngineProfile, Evaluator, Optimizer};
 use aio_storage::{Catalog, Relation, Value};
 use aio_trace::{Trace, Tracer};
 use std::collections::HashMap;
@@ -26,10 +26,19 @@ pub struct ExplainOutput {
     pub trace: Trace,
 }
 
-/// Apply the early-selection rewrite to every plan of a compiled
-/// statement.
-fn optimize_compiled(mut c: CompiledWithPlus) -> CompiledWithPlus {
-    let opt = |p: &aio_algebra::Plan| aio_algebra::push_selections(p);
+/// Optimize every plan of a compiled statement at the profile's level.
+/// Runs exactly once per statement, before the PSM loop — never per
+/// iteration — so EXPLAIN ANALYZE can re-derive the executed plans from
+/// the same (plan, statistics) inputs.
+fn optimize_compiled(
+    mut c: CompiledWithPlus,
+    catalog: &Catalog,
+    level: Optimizer,
+) -> CompiledWithPlus {
+    if level == Optimizer::Off {
+        return c;
+    }
+    let opt = |p: &aio_algebra::Plan| optimize_plan(p, catalog, level);
     for step in c.init.iter_mut().chain(c.recursive.iter_mut()) {
         for (_, _, plan) in step.computed.iter_mut() {
             *plan = opt(plan);
@@ -50,9 +59,6 @@ pub struct Database {
     /// Physical spelling of anti-join (Tables 6 & 7). Default:
     /// `left outer join`, the paper's pick after Exp-1.
     pub anti_impl: AntiJoinImpl,
-    /// Apply the early-selection rewrite (Ordonez \[41\]'s push-down) to every plan.
-    /// Off by default so the optimization can be measured in isolation.
-    pub optimize: bool,
     params: HashMap<String, Value>,
     /// When set, every execution records hierarchical spans into it
     /// (per-operator, per-subquery, per-iteration). `None` (the default)
@@ -67,10 +73,16 @@ impl Database {
             profile,
             ubu_impl: UbuImpl::FullOuterJoin,
             anti_impl: AntiJoinImpl::LeftOuterNull,
-            optimize: false,
             params: HashMap::new(),
             tracer: None,
         }
+    }
+
+    /// Set the plan-optimization level (a shorthand for rebuilding the
+    /// profile; [`Optimizer::Off`] keeps the paper's fixed Algorithm 1
+    /// plans).
+    pub fn set_optimizer(&mut self, level: Optimizer) {
+        self.profile.optimizer = level;
     }
 
     /// Start recording spans for subsequent executions.
@@ -123,10 +135,11 @@ impl Database {
         match Parser::parse_statement(sql)? {
             Statement::WithPlus(w) => {
                 let ctx = LowerCtx::new(&self.params, self.anti_impl);
-                let mut compiled = compile(&w, &ctx)?;
-                if self.optimize {
-                    compiled = optimize_compiled(compiled);
-                }
+                let compiled = optimize_compiled(
+                    compile(&w, &ctx)?,
+                    &self.catalog,
+                    self.profile.optimizer,
+                );
                 let mut runner = PsmRunner::new(&mut self.catalog, &self.profile, self.ubu_impl);
                 runner.set_tracer(self.tracer.as_ref());
                 runner.run(&compiled)
@@ -134,10 +147,8 @@ impl Database {
             Statement::Select(s) => {
                 let start = Instant::now();
                 let ctx = LowerCtx::new(&self.params, self.anti_impl);
-                let mut plan = lower_select(&s, &ctx)?;
-                if self.optimize {
-                    plan = aio_algebra::push_selections(&plan);
-                }
+                let plan =
+                    optimize_plan(&lower_select(&s, &ctx)?, &self.catalog, self.profile.optimizer);
                 let span = aio_trace::maybe_span(self.tracer.as_ref(), "query");
                 if let Some(sp) = &span {
                     sp.field("plan", "select");
@@ -189,18 +200,17 @@ impl Database {
         let report = match Parser::parse_statement(sql)? {
             Statement::WithPlus(w) => {
                 let ctx = LowerCtx::new(&self.params, self.anti_impl);
-                let mut compiled = compile(&w, &ctx)?;
-                if self.optimize {
-                    compiled = optimize_compiled(compiled);
-                }
+                let compiled = optimize_compiled(
+                    compile(&w, &ctx)?,
+                    &self.catalog,
+                    self.profile.optimizer,
+                );
                 crate::explain::render_with_plus(&compiled, &result.stats, &trace, timings)
             }
             Statement::Select(s) => {
                 let ctx = LowerCtx::new(&self.params, self.anti_impl);
-                let mut plan = lower_select(&s, &ctx)?;
-                if self.optimize {
-                    plan = aio_algebra::push_selections(&plan);
-                }
+                let plan =
+                    optimize_plan(&lower_select(&s, &ctx)?, &self.catalog, self.profile.optimizer);
                 crate::explain::render_select(&plan, &trace, timings)
             }
         };

@@ -261,6 +261,13 @@ impl<'a> PsmRunner<'a> {
             self.created.push(name.to_string());
         }
         self.catalog.create_or_replace(name, rel, true);
+        // Under the cost-based optimizer, refresh statistics for the
+        // materialized temp table — this is the cheap per-iteration path
+        // that keeps the shrinking `__delta_*` working table's sketches
+        // current, so per-execution EXPLAIN estimates track the delta.
+        if self.profile.optimizer == aio_algebra::Optimizer::Cost {
+            let _ = self.catalog.analyze(name);
+        }
         self.build_indexes(name)?;
         Ok(())
     }

@@ -66,6 +66,49 @@ fn differential_full_matrix() {
     println!("full matrix: {}", report.summary());
 }
 
+/// Tier-1 optimizer-equivalence smoke: the natively-covered algorithms
+/// with the with+ PSM swept over optimizer ∈ {Off, Rules, Cost} ×
+/// parallelism {1, 8}, every result row-identical (or tolerance-identical)
+/// to the Off baseline and the textbook oracle.
+#[test]
+fn optimizer_equivalence_smoke() {
+    let corpus: Vec<_> = corpus_graphs()
+        .into_iter()
+        .filter(|g| g.name == "erdos-renyi" || g.name == "citation-dag")
+        .collect();
+    let report = run_matrix(&corpus, &MatrixConfig::optimizer_smoke());
+    assert_clean(&report);
+    // the sweep actually forked cost/rules families
+    assert!(
+        report.engine_families.iter().any(|f| f.ends_with(" opt=cost")),
+        "{:?}",
+        report.engine_families
+    );
+    assert!(
+        report.engine_families.iter().any(|f| f.ends_with(" opt=rules")),
+        "{:?}",
+        report.engine_families
+    );
+}
+
+/// The full optimizer-equivalence matrix: every Table 2 algorithm ×
+/// optimizer {Off, Rules, Cost} × parallelism {1, 8} over the whole
+/// corpus, zero divergences. Heavyweight — `./ci.sh full` territory.
+#[test]
+#[ignore = "full optimizer-equivalence matrix: run via ./ci.sh full"]
+fn optimizer_equivalence_full_matrix() {
+    let corpus = corpus_graphs();
+    let report = run_matrix(&corpus, &MatrixConfig::optimizer_equivalence());
+    assert_clean(&report);
+    assert!(
+        report.algorithms.len() >= 10,
+        "only {} algorithms ran: {:?}",
+        report.algorithms.len(),
+        report.algorithms
+    );
+    println!("optimizer matrix: {}", report.summary());
+}
+
 /// Metamorphic smoke: one relation per algorithm on one family.
 #[test]
 fn metamorphic_smoke() {

@@ -172,16 +172,16 @@ fn early_selection_rewrite_preserves_algorithm_results() {
     // run the Fig. 9 SQL'99-style query (which has pushable predicates:
     // P.L < d) with and without the [41]-style push-down
     let g = DatasetSpec::by_key("WG").unwrap().synthesize(SCALE);
-    let run = |optimize: bool| {
+    let run = |level: all_in_one::algebra::Optimizer| {
         let mut db = algos::common::db_for(&g, &oracle_like(), algos::common::EdgeStyle::PageRank)
             .unwrap();
-        db.optimize = optimize;
+        db.set_optimizer(level);
         db.set_param("c", 0.85);
         db.set_param("n", g.node_count() as f64);
         db.execute(&algos::pagerank::sql99_fig9(6)).unwrap()
     };
-    let plain = run(false);
-    let optimized = run(true);
+    let plain = run(all_in_one::algebra::Optimizer::Off);
+    let optimized = run(all_in_one::algebra::Optimizer::Rules);
     assert!(plain.relation.same_rows_unordered(&optimized.relation));
     // fewer tuples flow through the join once P.L < 6 is applied early
     assert!(optimized.stats.exec.rows_produced <= plain.stats.exec.rows_produced);
