@@ -4,7 +4,13 @@
 #   ./ci.sh        tier-1: build, the default (smoke) test suite, clippy
 #   ./ci.sh full   additionally runs every #[ignore]d heavyweight test:
 #                  the full differential matrix, the metamorphic sweep,
-#                  and any other long-running suites (~ a few minutes)
+#                  the exhaustive crash-point sweep (every mutating fs op
+#                  × three unsynced-byte fates), and any other
+#                  long-running suites (~ a few minutes)
+#
+# The smoke suite already includes the strided crash sweep
+# (tests/crash_recovery.rs, AIO_CRASH_STRIDE=3), corruption fuzzing and
+# the WAL property tests.
 set -eux
 
 mode="${1:-smoke}"
@@ -45,10 +51,28 @@ grep -q "optimizer=cost" "$opt_dir/optimizer.out"
 test -s "$opt_dir/BENCH_optimizer.json"
 rm -rf "$opt_dir"
 
+# durability smoke: WAL + fsync A/B at reduced scale plus recovery replay
+# throughput. The overhead percentage is only meaningful at full scale
+# (tiny runs are noise-dominated), so smoke checks the experiment runs and
+# the recovery bar holds; `./ci.sh full` enforces both bars at 1M edges.
+dur_dir="$(mktemp -d)"
+(cd "$dur_dir" && "$repro_bin" durability --scale 0.02) |
+    tee "$dur_dir/durability.out"
+test -s "$dur_dir/BENCH_durability.json"
+grep -q "≥10k records/s bar: PASS" "$dur_dir/durability.out"
+rm -rf "$dur_dir"
+
 if [ "$mode" = full ]; then
     # zero-cost-when-disabled bar: <2% overhead on a ~1M-edge hash join
     # (writes BENCH_trace_overhead.json; the binary prints the verdict).
     overhead_out="$(cargo run --release -p aio-bench --bin repro -- trace_overhead)"
     echo "$overhead_out"
     echo "$overhead_out" | grep -q "bar: PASS"
+
+    # durability bars at full scale: WAL overhead ≤25% on the 1M-edge
+    # load + PageRank, recovery ≥10k records/s (BENCH_durability.json).
+    dur_out="$(cargo run --release -p aio-bench --bin repro -- durability)"
+    echo "$dur_out"
+    echo "$dur_out" | grep -q "≤25% bar: PASS"
+    echo "$dur_out" | grep -q "≥10k records/s bar: PASS"
 fi

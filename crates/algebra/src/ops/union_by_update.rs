@@ -227,7 +227,7 @@ pub fn union_by_update(
                 let mut fresh = Relation::new(entry.rel.schema().clone());
                 fresh.set_pk(entry.rel.pk().map(|p| p.to_vec()));
                 let staging = format!("{target}__ubu_new");
-                catalog.create_or_replace(&staging, fresh, temp);
+                catalog.create_or_replace(&staging, fresh, temp)?;
                 catalog.insert_rows(&staging, new_rows, profile.wal_temp)?;
                 catalog.drop_table(target)?;
                 catalog.rename_table(&staging, target)?;

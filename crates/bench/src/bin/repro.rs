@@ -88,6 +88,7 @@ fn main() {
             "scaling" => exp::scaling(if scale_given { scale } else { 1.0 }),
             "trace_overhead" => exp::trace_overhead(if scale_given { scale } else { 1.0 }),
             "optimizer" => exp::optimizer(if scale_given { scale } else { 1.0 }),
+            "durability" => exp::durability(if scale_given { scale } else { 1.0 }),
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;
@@ -109,7 +110,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S]\n\
          \x20      repro explain <pagerank|tc|sssp|wcc> [--scale S]\n\
-         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer"
+         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer durability"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

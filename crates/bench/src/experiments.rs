@@ -839,6 +839,169 @@ pub fn optimizer(scale: f64) -> String {
     )
 }
 
+/// `repro durability` — the cost of the durable catalog (ISSUE 6
+/// tentpole), measured two ways and written to `BENCH_durability.json`:
+///
+/// 1. **WAL overhead**: load a ~1M-edge power-law graph and run five
+///    PageRank iterations, A/B between a plain in-memory database and a
+///    durable one on the real file system (every table load, per-iteration
+///    commit and run marker logged + fsynced). Acceptance: ≤ 25% slower.
+/// 2. **Recovery throughput**: write WALs of ~5k and ~20k committed
+///    records (small insert batches grouped into transactions), then time
+///    `Database::open` replaying them. Acceptance: ≥ 10k records/s.
+///
+/// `--scale` is relative to 1M edges and defaults to 1.0.
+pub fn durability(scale: f64) -> String {
+    use aio_storage::WalPolicy;
+    use aio_withplus::Database;
+
+    let edges = ((1.0e6 * scale) as usize).max(10_000);
+    let nodes = (edges / 10).max(100);
+    let g = aio_graph::generate(aio_graph::GraphKind::PowerLaw, nodes, edges, true, 53);
+    let gw = reference::with_pagerank_weights(&g);
+    let e_rel = aio_graph::load::edge_relation(&gw);
+    let v_rel = aio_graph::load::node_relation(&g);
+    let iters = 5usize;
+
+    let run_pr = |db: &mut Database| -> Result<usize> {
+        db.create_table("E", e_rel.clone())?;
+        db.create_table("V", v_rel.clone())?;
+        db.set_param("c", 0.85);
+        db.set_param("n", nodes as f64);
+        Ok(db.execute(&algos::pagerank::sql(iters))?.relation.len())
+    };
+
+    // Untimed warm-up so neither timed side pays the one-off allocator
+    // arena growth and page-fault cost (without this the second run wins
+    // by double digits for reasons unrelated to durability).
+    {
+        let mut warm = Database::new(oracle_like());
+        run_pr(&mut warm).expect("warm-up run");
+    }
+
+    // Best-of-2 on both sides: a single run on a one-core host carries
+    // scheduler noise larger than the effect being measured, and the min
+    // of two runs is the standard variance-robust estimator for a
+    // lower-is-truer timing (both sides are treated identically; the JSON
+    // records the winning numbers).
+    let reps = 2;
+
+    // A: in-memory baseline.
+    let mut mem_ms = f64::INFINITY;
+    let mut mem_rows = 0usize;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut mem_db = Database::new(oracle_like());
+        mem_rows = run_pr(&mut mem_db).expect("in-memory run");
+        mem_ms = mem_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // B: durable on the real file system in a scratch directory (fresh
+    // per rep so every run writes the full log).
+    let mut dur_ms = f64::INFINITY;
+    let (mut wal_records, mut wal_bytes, mut wal_syncs) = (0u64, 0u64, 0u64);
+    for rep in 0..reps {
+        let dir = std::env::temp_dir()
+            .join(format!("aio-durability-{}-{rep}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().into_owned();
+        let t0 = Instant::now();
+        let (mut dur_db, report) = Database::open(&dir_s, oracle_like()).expect("durable open");
+        assert!(report.fresh, "scratch dir should start fresh");
+        let dur_rows = run_pr(&mut dur_db).expect("durable run");
+        dur_ms = dur_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(mem_rows, dur_rows, "durability must not change the answer");
+        let d = dur_db.catalog.durability().expect("durable");
+        (wal_records, wal_bytes, wal_syncs) =
+            (d.records_appended(), d.bytes_appended(), d.syncs());
+        drop(dur_db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let overhead_pct = if mem_ms > 0.0 { (dur_ms - mem_ms) / mem_ms * 100.0 } else { 0.0 };
+    let overhead_verdict = if overhead_pct <= 25.0 { "PASS" } else { "FAIL" };
+
+    // Recovery throughput vs log length: small committed batches, grouped
+    // 100 records to a transaction so log writing isn't fsync-bound.
+    let mut recovery = Vec::new();
+    for &target in &[5_000u64, 20_000u64] {
+        let rdir = std::env::temp_dir().join(format!(
+            "aio-durability-rec-{}-{target}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&rdir);
+        let rdir_s = rdir.to_string_lossy().into_owned();
+        {
+            let (mut db, _) = Database::open(&rdir_s, oracle_like()).expect("recovery-wl open");
+            db.create_table("t", aio_storage::Relation::new(aio_storage::edge_schema()))
+                .expect("create t");
+            let mut written = 0u64;
+            let mut i = 0i64;
+            while written < target {
+                db.catalog.wal_begin_txn();
+                for _ in 0..50 {
+                    db.catalog
+                        .insert_rows("t", vec![aio_storage::row![i, i + 1, 0.5]], WalPolicy::None)
+                        .expect("insert");
+                    i += 1;
+                }
+                db.catalog.wal_commit_txn().expect("commit");
+                written = db.catalog.durability().unwrap().records_appended();
+            }
+        }
+        let t0 = Instant::now();
+        let (db, rep) = Database::open(&rdir_s, oracle_like()).expect("recovery open");
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(rep.wal_records_replayed > 0, "nothing replayed");
+        let rows = db.catalog.relation("t").expect("t").len();
+        drop(db);
+        let _ = std::fs::remove_dir_all(&rdir);
+        let per_s = rep.wal_records_replayed as f64 / secs.max(1e-9);
+        recovery.push((rep.wal_records_replayed, rep.wal_bytes_replayed, secs * 1e3, per_s, rows));
+    }
+    let worst_per_s = recovery.iter().map(|r| r.3).fold(f64::INFINITY, f64::min);
+    let recovery_verdict = if worst_per_s >= 10_000.0 { "PASS" } else { "FAIL" };
+
+    let rec_json: Vec<String> = recovery
+        .iter()
+        .map(|(records, bytes, ms, per_s, rows)| {
+            format!(
+                "{{\"wal_records\": {records}, \"wal_bytes\": {bytes}, \"recovery_ms\": {ms:.3}, \
+                 \"records_per_s\": {per_s:.0}, \"rows\": {rows}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"durability\",\n  \"edges\": {edges},\n  \"nodes\": {nodes},\n  \
+         \"pr_iters\": {iters},\n  \"in_memory_ms\": {mem_ms:.3},\n  \"durable_ms\": {dur_ms:.3},\n  \
+         \"overhead_pct\": {overhead_pct:.3},\n  \"overhead_threshold_pct\": 25.0,\n  \
+         \"overhead_verdict\": \"{overhead_verdict}\",\n  \"wal_records\": {wal_records},\n  \
+         \"wal_bytes\": {wal_bytes},\n  \"wal_syncs\": {wal_syncs},\n  \
+         \"recovery\": [{}],\n  \"recovery_threshold_records_per_s\": 10000,\n  \
+         \"recovery_verdict\": \"{recovery_verdict}\"\n}}\n",
+        rec_json.join(", "),
+    );
+    let json_note = match std::fs::write("BENCH_durability.json", &json) {
+        Ok(()) => "results written to BENCH_durability.json".to_string(),
+        Err(err) => format!("could not write BENCH_durability.json: {err}"),
+    };
+
+    let mut rec_lines = String::new();
+    for (records, _bytes, ms, per_s, _rows) in &recovery {
+        rec_lines.push_str(&format!(
+            "  {records:>6} records : {ms:>8.1} ms  ({per_s:>9.0} records/s)\n"
+        ));
+    }
+    format!(
+        "Durability — PageRank×{iters} on E({edges})/V({nodes}), WAL + fsync vs in-memory\n\n\
+         in-memory : {mem_ms:>9.1} ms\n\
+         durable   : {dur_ms:>9.1} ms  ({overhead_pct:+.2}%, {wal_records} WAL records, \
+         {wal_bytes} bytes, {wal_syncs} fsyncs)\n\n\
+         overhead vs the ≤25% bar: {overhead_verdict}\n\n\
+         recovery replay throughput (vs the ≥10k records/s bar: {recovery_verdict})\n{rec_lines}\n{json_note}\n"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -891,6 +1054,20 @@ mod tests {
         );
         // tiny-scale artifact; the committed one comes from `repro optimizer`
         let _ = std::fs::remove_file("BENCH_optimizer.json");
+    }
+
+    #[test]
+    fn durability_ab_runs_at_tiny_scale() {
+        // 10k-edge floor; asserts inside `durability` already check the
+        // durable answer matches the in-memory one
+        let out = durability(0.0);
+        assert!(out.contains("recovery replay throughput"), "{out}");
+        assert!(
+            std::fs::metadata("BENCH_durability.json").map(|m| m.len() > 0).unwrap_or(false),
+            "BENCH_durability.json missing or empty"
+        );
+        // tiny-scale artifact; the committed one comes from `repro durability`
+        let _ = std::fs::remove_file("BENCH_durability.json");
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //!
 //! Everything a downstream user needs, re-exported:
 //!
-//! * [`storage`] — relations, schemas, catalog, indexes, simulated WAL;
+//! * [`storage`] — relations, schemas, catalog, indexes, and durability: a
+//!   framed write-ahead log with snapshot checkpoints and crash recovery
+//!   (plus the paper's simulated WAL cost model);
 //! * [`algebra`] — the six basic operations plus the paper's four (MM-join,
 //!   MV-join, anti-join, union-by-update), logical plans and engine
 //!   profiles emulating Oracle / DB2 / PostgreSQL;
@@ -57,7 +59,10 @@ pub mod prelude {
         Semiring, UbuImpl, BOOLEAN, COUNTING, TROPICAL,
     };
     pub use aio_graph::{generate, DatasetSpec, Graph, GraphKind, DATASETS};
-    pub use aio_storage::{edge_schema, node_schema, row, Relation, Schema, Value};
+    pub use aio_storage::{
+        edge_schema, node_schema, row, CheckpointStats, InterruptedRun, RecoveryReport, Relation,
+        Schema, SimVfs, StdVfs, UnsyncedFate, Value, Vfs,
+    };
     pub use aio_trace::{Trace, Tracer};
     pub use aio_withplus::{Database, ExplainOutput, QueryResult, RunStats, WithPlusError};
 }

@@ -12,7 +12,9 @@
 use crate::error::{Result, StorageError};
 use crate::index::SortedIndex;
 use crate::relation::{Relation, RelationStats, Row};
-use crate::wal::{Wal, WalPolicy};
+use crate::snapshot;
+use crate::value::Value;
+use crate::wal::{self, CommitKind, Durability, Wal, WalPolicy};
 use std::collections::HashMap;
 
 /// A catalog entry.
@@ -34,8 +36,23 @@ pub struct TableEntry {
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, TableEntry>,
-    /// Simulated redo log shared by all tables.
+    /// Simulated redo log shared by all tables (the paper's logging cost
+    /// model; see `wal.rs`).
     pub wal: Wal,
+    /// The *real* durable log, present when this catalog was opened from a
+    /// database directory (`recover::open_catalog`). `None` = in-memory
+    /// catalog, every durable hook below is a no-op.
+    pub(crate) durable: Option<Durability>,
+}
+
+/// What a [`Catalog::checkpoint`] wrote.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointStats {
+    /// The new generation number.
+    pub seq: u64,
+    /// Snapshot file size.
+    pub bytes: u64,
+    pub tables: usize,
 }
 
 fn norm(name: &str) -> String {
@@ -62,6 +79,16 @@ impl Catalog {
         if self.tables.contains_key(&key) {
             return Err(StorageError::TableExists(name.to_string()));
         }
+        if self.durable.is_some() {
+            self.wal_append(wal::enc_create_table(
+                &key,
+                temp,
+                false,
+                rel.schema(),
+                rel.pk(),
+                rel.rows(),
+            ))?;
+        }
         // Base tables are analyzed at load time; temp tables start without
         // statistics, like the paper's PostgreSQL temp tables.
         let stats = (!temp).then(|| rel.collect_stats());
@@ -79,11 +106,23 @@ impl Catalog {
 
     /// Register, replacing any previous table of that name (used by the
     /// `drop`/`alter` union-by-update implementation and by experiment
-    /// set-up code).
-    pub fn create_or_replace(&mut self, name: &str, rel: Relation, temp: bool) {
+    /// set-up code). Only fails on a durable catalog whose log append
+    /// failed; in-memory it cannot error.
+    pub fn create_or_replace(&mut self, name: &str, rel: Relation, temp: bool) -> Result<()> {
+        let key = norm(name);
+        if self.durable.is_some() {
+            self.wal_append(wal::enc_create_table(
+                &key,
+                temp,
+                true,
+                rel.schema(),
+                rel.pk(),
+                rel.rows(),
+            ))?;
+        }
         let stats = (!temp).then(|| rel.collect_stats());
         self.tables.insert(
-            norm(name),
+            key,
             TableEntry {
                 rel,
                 temp,
@@ -91,6 +130,7 @@ impl Catalog {
                 stats,
             },
         );
+        Ok(())
     }
 
     /// `ANALYZE name` — (re)collect statistics for one table, temp or not.
@@ -114,23 +154,40 @@ impl Catalog {
     }
 
     pub fn drop_table(&mut self, name: &str) -> Result<Relation> {
-        self.tables
-            .remove(&norm(name))
-            .map(|e| e.rel)
-            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+        let key = norm(name);
+        if !self.tables.contains_key(&key) {
+            return Err(StorageError::NoSuchTable(name.to_string()));
+        }
+        if self.durable.is_some() {
+            self.wal_append(wal::enc_drop(&key))?;
+        }
+        Ok(self.tables.remove(&key).expect("checked above").rel)
     }
 
     /// `ALTER TABLE old RENAME TO new` (the second half of the drop/alter
     /// union-by-update implementation, Table 4/5).
     pub fn rename_table(&mut self, old: &str, new: &str) -> Result<()> {
-        if self.tables.contains_key(&norm(new)) {
+        let (okey, nkey) = (norm(old), norm(new));
+        if self.tables.contains_key(&nkey) {
             return Err(StorageError::TableExists(new.to_string()));
         }
-        let e = self
-            .tables
-            .remove(&norm(old))
-            .ok_or_else(|| StorageError::NoSuchTable(old.to_string()))?;
-        self.tables.insert(norm(new), e);
+        if !self.tables.contains_key(&okey) {
+            return Err(StorageError::NoSuchTable(old.to_string()));
+        }
+        if self.durable.is_some() {
+            self.wal_append(wal::enc_rename(&okey, &nkey))?;
+        }
+        let e = self.tables.remove(&okey).expect("checked above");
+        self.tables.insert(nkey.clone(), e);
+        // A pending in-place-mutation image must follow the table to its
+        // new name, or the mutation silently vanishes on replay.
+        if let Some(d) = self.durable.as_mut() {
+            for n in d.dirty.iter_mut() {
+                if *n == okey {
+                    *n = nkey.clone();
+                }
+            }
+        }
         Ok(())
     }
 
@@ -147,8 +204,21 @@ impl Catalog {
     /// Mutable entry access. Conservatively drops the table's statistics:
     /// the caller may mutate rows, and stale sketches are worse for the
     /// optimizer than none. Use [`Catalog::analyze`] to re-collect.
+    ///
+    /// On a durable catalog this also marks the table *dirty*: in-place
+    /// mutations cannot be logged physically, so the table's full
+    /// after-image is appended to the WAL at the next commit point.
     pub fn entry_mut(&mut self, name: &str) -> Result<&mut TableEntry> {
-        let e = self.entry_mut_keep_stats(name)?;
+        let key = norm(name);
+        if !self.tables.contains_key(&key) {
+            return Err(StorageError::NoSuchTable(name.to_string()));
+        }
+        if let Some(d) = self.durable.as_mut() {
+            if !d.dirty.contains(&key) {
+                d.dirty.push(key.clone());
+            }
+        }
+        let e = self.tables.get_mut(&key).expect("checked above");
         e.stats = None;
         Ok(e)
     }
@@ -166,7 +236,14 @@ impl Catalog {
     /// truncate table clause", appendix). Drops indexes too, since they
     /// index nothing afterwards.
     pub fn truncate(&mut self, name: &str) -> Result<()> {
-        let e = self.entry_mut(name)?;
+        if !self.contains(name) {
+            return Err(StorageError::NoSuchTable(name.to_string()));
+        }
+        if self.durable.is_some() {
+            self.wal_append(wal::enc_truncate(&norm(name)))?;
+        }
+        let e = self.entry_mut_keep_stats(name)?;
+        e.stats = None;
         e.rel.truncate();
         e.indexes.clear();
         Ok(())
@@ -175,7 +252,17 @@ impl Catalog {
     /// Bulk insert, logging per `policy`.
     pub fn insert_rows(&mut self, name: &str, rows: Vec<Row>, policy: WalPolicy) -> Result<()> {
         self.wal.log_insert(policy, &rows);
-        let e = self.entry_mut(name)?;
+        // Validate arity *before* logging durably: a record must never hit
+        // the WAL for a mutation that then fails to apply.
+        let expected = self.relation(name)?.schema().arity();
+        if let Some(r) = rows.iter().find(|r| r.len() != expected) {
+            return Err(StorageError::ArityMismatch { expected, got: r.len() });
+        }
+        if self.durable.is_some() {
+            self.wal_append(wal::enc_insert(&norm(name), &rows))?;
+        }
+        let e = self.entry_mut_keep_stats(name)?;
+        e.stats = None;
         // Inserts invalidate sorted order; a real engine maintains the
         // B-tree incrementally, we rebuild lazily on next use instead.
         e.indexes.clear();
@@ -206,6 +293,184 @@ impl Catalog {
         let mut v: Vec<String> = self.tables.keys().cloned().collect();
         v.sort();
         v
+    }
+
+    // -- durability -------------------------------------------------------
+
+    /// Whether this catalog writes a durable WAL.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable-log handle, for counters and paths.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durable.as_ref()
+    }
+
+    /// Attach a durable log (done by `recover::open_catalog` after replay;
+    /// mutations from here on are logged).
+    pub fn attach_durability(&mut self, d: Durability) {
+        self.durable = Some(d);
+    }
+
+    /// Append one record; outside a transaction this is its own committed,
+    /// synced transaction (auto-commit).
+    fn wal_append(&mut self, payload: Vec<u8>) -> Result<()> {
+        let Some(d) = self.durable.as_ref() else {
+            return Ok(());
+        };
+        let in_txn = d.in_txn;
+        if !in_txn {
+            // Straggler in-place mutations commit together with this record.
+            self.wal_flush_dirty()?;
+        }
+        let d = self.durable.as_mut().expect("checked above");
+        d.append_record(&payload)?;
+        if !in_txn {
+            d.append_record(&wal::enc_commit(&CommitKind::Auto))?;
+            d.sync_wal()?;
+        }
+        Ok(())
+    }
+
+    /// Turn every dirty table into a `ReplaceRows` after-image. Tables
+    /// dropped since they were dirtied are skipped (the drop record already
+    /// covers them).
+    fn wal_flush_dirty(&mut self) -> Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let names = std::mem::take(&mut d.dirty);
+        for n in names {
+            if let Some(e) = self.tables.get(&n) {
+                d.append_record(&wal::enc_replace_rows(&n, e.rel.rows()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Start an explicit WAL transaction: mutations accumulate un-synced
+    /// until the next commit marker. Used by the PSM loop (a whole
+    /// iteration is one transaction) and by bulk loaders.
+    pub fn wal_begin_txn(&mut self) {
+        if let Some(d) = self.durable.as_mut() {
+            d.in_txn = true;
+        }
+    }
+
+    fn wal_commit(&mut self, kind: CommitKind, close: bool) -> Result<(u64, u64)> {
+        let Some(d) = self.durable.as_ref() else {
+            return Ok((0, 0));
+        };
+        let before = (d.records_appended(), d.bytes_appended());
+        self.wal_flush_dirty()?;
+        let d = self.durable.as_mut().expect("checked above");
+        d.append_record(&wal::enc_commit(&kind))?;
+        d.sync_wal()?;
+        if close {
+            d.in_txn = false;
+        }
+        Ok((d.records_appended() - before.0, d.bytes_appended() - before.1))
+    }
+
+    /// Commit and close an explicit transaction. Returns (records, bytes)
+    /// appended by the commit (dirty images + marker).
+    pub fn wal_commit_txn(&mut self) -> Result<(u64, u64)> {
+        self.wal_commit(CommitKind::Auto, true)
+    }
+
+    /// Iteration-boundary commit emitted by the PSM fixpoint loop:
+    /// `iters_done` iterations of `rec`'s recursion are now durable
+    /// (0 = the init queries). Leaves the run's transaction open.
+    pub fn wal_commit_iter(&mut self, rec: &str, iters_done: u64) -> Result<(u64, u64)> {
+        self.wal_commit(CommitKind::Iter { rec: norm(rec), iters_done }, false)
+    }
+
+    /// A with+ statement is starting: durably record enough context (SQL
+    /// text + parameter bindings) to resume it after a crash, then open its
+    /// transaction.
+    pub fn wal_run_begin(&mut self, rec: &str, sql: &str, params: &[(String, Value)]) -> Result<()> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        self.wal_flush_dirty()?;
+        let d = self.durable.as_mut().expect("checked above");
+        d.append_record(&wal::enc_run_begin(&norm(rec), sql, params))?;
+        d.append_record(&wal::enc_commit(&CommitKind::Auto))?;
+        d.sync_wal()?;
+        d.in_txn = true;
+        Ok(())
+    }
+
+    /// The with+ statement finished (or aborted): commit its trailing
+    /// mutations and mark the run complete so recovery won't offer it for
+    /// resumption.
+    pub fn wal_run_end(&mut self, rec: &str) -> Result<()> {
+        self.wal_commit(CommitKind::RunEnd { rec: norm(rec) }, true).map(|_| ())
+    }
+
+    /// Write snapshot generation `seq+1`, start a fresh WAL generation and
+    /// delete the previous generation's files.
+    ///
+    /// Crash-safe ordering: tmp-write → fsync → rename → new WAL (synced)
+    /// → delete old files. A crash anywhere leaves either the old
+    /// generation intact or both generations present — recovery picks the
+    /// newest *valid* snapshot, so no window loses data.
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats> {
+        let Some(d) = self.durable.as_ref() else {
+            return Err(StorageError::Invalid("checkpoint: catalog is not durable".into()));
+        };
+        if d.in_txn {
+            return Err(StorageError::Invalid(
+                "checkpoint: WAL transaction in progress".into(),
+            ));
+        }
+        let old_seq = d.seq();
+        let next = old_seq + 1;
+        let dir = d.dir().to_string();
+        let vfs = d.vfs();
+        let bytes = snapshot::encode_snapshot(next, self);
+        let fin = snapshot::snapshot_file(&dir, next);
+        let tmp = format!("{fin}.tmp");
+        let io = |op: &str, p: &str, e: std::io::Error| StorageError::Io(format!("{op} {p}: {e}"));
+        vfs.write(&tmp, &bytes).map_err(|e| io("write", &tmp, e))?;
+        vfs.sync(&tmp).map_err(|e| io("sync", &tmp, e))?;
+        vfs.rename(&tmp, &fin).map_err(|e| io("rename", &tmp, e))?;
+        wal::init_wal(&vfs, &dir, next)?;
+        // The old generation is now garbage; removal failures are harmless
+        // (recovery always prefers the newest valid snapshot).
+        let _ = vfs.remove(&wal::wal_file(&dir, old_seq));
+        let _ = vfs.remove(&snapshot::snapshot_file(&dir, old_seq));
+        let d = self.durable.as_mut().expect("checked above");
+        d.set_seq(next);
+        // In-place mutations up to here are inside the snapshot.
+        d.dirty.clear();
+        Ok(CheckpointStats {
+            seq: next,
+            bytes: bytes.len() as u64,
+            tables: self.tables.len(),
+        })
+    }
+
+    /// Row-for-row equality of the visible contents (names, temp flags,
+    /// schemas, primary keys, rows in order). Indexes, statistics and WAL
+    /// state are ignored — this is the equivalence the recovery tests
+    /// assert.
+    pub fn same_content(&self, other: &Catalog) -> bool {
+        let (a, b) = (self.names(), other.names());
+        if a != b {
+            return false;
+        }
+        a.iter().all(|n| {
+            let (x, y) = (
+                self.entry(n).expect("listed name"),
+                other.entry(n).expect("listed name"),
+            );
+            x.temp == y.temp
+                && x.rel.schema() == y.rel.schema()
+                && x.rel.pk() == y.rel.pk()
+                && x.rel.rows() == y.rel.rows()
+        })
     }
 }
 

@@ -18,6 +18,12 @@ pub enum StorageError {
     ArityMismatch { expected: usize, got: usize },
     /// A primary-key constraint was violated.
     DuplicateKey(String),
+    /// A durable-storage syscall failed (message carries the op + path).
+    /// Stored as a string so the error stays `Clone + PartialEq`.
+    Io(String),
+    /// On-disk state failed validation (bad magic, CRC mismatch, torn
+    /// frame, undecodable record).
+    Corrupt(String),
     /// Catch-all for invariant violations with a message.
     Invalid(String),
 }
@@ -37,6 +43,8 @@ impl fmt::Display for StorageError {
                 write!(f, "arity mismatch: schema has {expected} columns, row has {got}")
             }
             StorageError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            StorageError::Io(m) => write!(f, "io error: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
             StorageError::Invalid(m) => write!(f, "{m}"),
         }
     }

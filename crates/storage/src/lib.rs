@@ -17,17 +17,22 @@ pub mod error;
 pub mod hash;
 pub mod index;
 pub mod keyidx;
+pub mod recover;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod value;
+pub mod vfs;
 pub mod wal;
 
-pub use catalog::{Catalog, TableEntry};
+pub use catalog::{Catalog, CheckpointStats, TableEntry};
 pub use error::{Result, StorageError};
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedIndex};
 pub use keyidx::{key_has_null, key_hash, keys_eq, KeyIndex};
+pub use recover::{open_catalog, InterruptedRun, RecoveryReport};
 pub use relation::{edge_schema, node_schema, ColumnSketch, Key, Relation, RelationStats, Row};
 pub use schema::{Column, DataType, Schema};
 pub use value::Value;
-pub use wal::{Wal, WalPolicy};
+pub use vfs::{SimVfs, StdVfs, UnsyncedFate, Vfs};
+pub use wal::{CommitKind, Durability, Wal, WalPolicy, WalRecord};

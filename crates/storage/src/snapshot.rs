@@ -1,0 +1,178 @@
+//! Snapshot checkpointing: the catalog serialized to a versioned binary
+//! file, paired with a fresh WAL generation.
+//!
+//! ## File format
+//!
+//! ```text
+//! file    := magic "AIOSNAP1" body crc:u32le     (crc = CRC32/IEEE of body)
+//! body    := version:u32 seq:u64 ntables:u32 table*
+//! table   := name temp:u8 schema pk rows         (codec from `wal`)
+//! ```
+//!
+//! The trailing CRC covers the whole body, so a single flipped bit anywhere
+//! invalidates the snapshot and recovery falls back to the previous
+//! generation (checkpointing only deletes generation `n` after generation
+//! `n+1` is durably in place — see [`crate::Catalog::checkpoint`]).
+//!
+//! Temp tables are included: a crash can land while a with+ run's working
+//! tables exist, and resuming from the last committed iteration needs them.
+//! Optimizer statistics are *not* serialized — recovery recomputes them
+//! (`Catalog::analyze`) so the cost optimizer never plans against sketches
+//! that predate the replayed WAL tail.
+
+use crate::error::{Result, StorageError};
+use crate::relation::{Relation, Row};
+use crate::schema::Schema;
+use crate::wal::{codec, crc32};
+use crate::Catalog;
+
+/// Magic prefix of every snapshot file (name + format version).
+pub const SNAP_MAGIC: &[u8; 8] = b"AIOSNAP1";
+
+/// Bumped when the body layout changes; decode refuses newer versions.
+pub const SNAP_VERSION: u32 = 1;
+
+/// Path of snapshot generation `seq` under `dir`.
+pub fn snapshot_file(dir: &str, seq: u64) -> String {
+    format!("{dir}/snapshot.{seq}")
+}
+
+/// Parse `snapshot.<seq>` back into a sequence number (rejects `.tmp` and
+/// anything else).
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot.")?.parse().ok()
+}
+
+/// Parse `wal.<seq>` back into a sequence number.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal.")?.parse().ok()
+}
+
+/// One table as stored in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableImage {
+    pub name: String,
+    pub temp: bool,
+    pub schema: Schema,
+    pub pk: Option<Vec<usize>>,
+    pub rows: Vec<Row>,
+}
+
+impl TableImage {
+    /// Rebuild the relation (arity-checked).
+    pub fn into_relation(self) -> Result<(String, bool, Relation)> {
+        let mut rel = Relation::new(self.schema);
+        rel.set_pk(self.pk);
+        rel.extend(self.rows)?;
+        Ok((self.name, self.temp, rel))
+    }
+}
+
+/// Serialize the whole catalog as snapshot generation `seq`.
+pub fn encode_snapshot(seq: u64, catalog: &Catalog) -> Vec<u8> {
+    let mut body = Vec::new();
+    codec::put_u32(&mut body, SNAP_VERSION);
+    codec::put_u64(&mut body, seq);
+    let names = catalog.names();
+    codec::put_u32(&mut body, names.len() as u32);
+    for name in &names {
+        let e = catalog.entry(name).expect("names() returned a live table");
+        codec::put_str(&mut body, name);
+        body.push(e.temp as u8);
+        codec::put_schema(&mut body, e.rel.schema());
+        codec::put_pk(&mut body, e.rel.pk());
+        codec::put_rows(&mut body, e.rel.rows());
+    }
+    let mut file = SNAP_MAGIC.to_vec();
+    file.extend_from_slice(&body);
+    file.extend_from_slice(&crc32(&body).to_le_bytes());
+    file
+}
+
+/// Decode and fully validate a snapshot file. Any structural problem is a
+/// [`StorageError::Corrupt`] — never a panic.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(u64, Vec<TableImage>)> {
+    let corrupt = |m: String| StorageError::Corrupt(format!("snapshot: {m}"));
+    let magic_len = SNAP_MAGIC.len();
+    if bytes.len() < magic_len + 4 || &bytes[..magic_len] != SNAP_MAGIC {
+        return Err(corrupt("bad or missing magic".to_string()));
+    }
+    let body = &bytes[magic_len..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(corrupt("crc mismatch".to_string()));
+    }
+    let mut d = codec::Dec::new(body);
+    let version = d.u32().map_err(&corrupt)?;
+    if version != SNAP_VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let seq = d.u64().map_err(&corrupt)?;
+    let ntables = d.u32().map_err(&corrupt)? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(4096));
+    for _ in 0..ntables {
+        let name = d.str().map_err(&corrupt)?;
+        let temp = d.u8().map_err(&corrupt)? != 0;
+        let schema = d.schema().map_err(&corrupt)?;
+        let pk = d.pk().map_err(&corrupt)?;
+        let rows = d.rows().map_err(&corrupt)?;
+        tables.push(TableImage { name, temp, schema, pk, rows });
+    }
+    if !d.done() {
+        return Err(corrupt("trailing garbage after table list".to_string()));
+    }
+    Ok((seq, tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{edge_schema, node_schema};
+    use crate::row;
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut e = Relation::new(edge_schema());
+        e.set_pk(Some(vec![0, 1]));
+        e.extend(vec![row![1, 2, 1.0], row![2, 3, 0.5]]).unwrap();
+        c.create_table("E", e).unwrap();
+        c.create_temp("tmp", Relation::new(node_schema())).unwrap();
+        c
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let c = sample_catalog();
+        let bytes = encode_snapshot(4, &c);
+        let (seq, tables) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(seq, 4);
+        assert_eq!(tables.len(), 2);
+        let (name, temp, rel) = tables[0].clone().into_relation().unwrap();
+        assert_eq!((name.as_str(), temp), ("e", false));
+        assert_eq!(rel.pk(), Some(&[0usize, 1][..]));
+        assert_eq!(rel.rows(), c.relation("E").unwrap().rows());
+        assert!(tables[1].temp);
+    }
+
+    #[test]
+    fn any_bit_flip_invalidates() {
+        let bytes = encode_snapshot(1, &sample_catalog());
+        for pos in [0, 9, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(decode_snapshot(&bad).is_err(), "flip at {pos} must invalidate");
+        }
+        for cut in [0, 7, bytes.len() - 1] {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "truncation to {cut}");
+        }
+    }
+
+    #[test]
+    fn file_names_parse() {
+        assert_eq!(parse_snapshot_name("snapshot.12"), Some(12));
+        assert_eq!(parse_snapshot_name("snapshot.12.tmp"), None);
+        assert_eq!(parse_snapshot_name("wal.3"), None);
+        assert_eq!(parse_wal_name("wal.3"), Some(3));
+        assert_eq!(parse_wal_name("wal.x"), None);
+    }
+}

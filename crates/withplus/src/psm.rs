@@ -260,7 +260,7 @@ impl<'a> PsmRunner<'a> {
         if !self.catalog.contains(name) {
             self.created.push(name.to_string());
         }
-        self.catalog.create_or_replace(name, rel, true);
+        self.catalog.create_or_replace(name, rel, true)?;
         // Under the cost-based optimizer, refresh statistics for the
         // materialized temp table — this is the cheap per-iteration path
         // that keeps the shrinking `__delta_*` working table's sketches
@@ -300,19 +300,69 @@ impl<'a> PsmRunner<'a> {
         Ok(())
     }
 
+    /// Commit the open durable-WAL transaction at a fixpoint iteration
+    /// boundary. No-op on in-memory catalogs.
+    fn wal_commit_iter_point(&mut self, rec: &str, iters_done: u64) -> Result<()> {
+        if !self.catalog.is_durable() {
+            return Ok(());
+        }
+        let span = aio_trace::maybe_span(self.tracer, "wal_append");
+        let (records, bytes) = self.catalog.wal_commit_iter(rec, iters_done)?;
+        if let Some(s) = &span {
+            s.field("iters_done", iters_done);
+            s.field("records", records);
+            s.field("bytes", bytes);
+        }
+        Ok(())
+    }
+
     /// Execute a compiled with+ statement to completion.
     pub fn run(&mut self, c: &CompiledWithPlus) -> Result<QueryResult> {
+        self.run_with(c, None)
+    }
+
+    /// Resume an interrupted run: the recursive relation (and, for
+    /// semi-naive modes, its working table) were recovered from the WAL
+    /// with `completed` fixpoint iterations already durable. Skips the
+    /// init queries and continues the loop at iteration `completed`.
+    /// Idempotent at the fixpoint: if the run had already converged, the
+    /// first resumed iteration produces no change and the loop exits.
+    pub fn run_resume(&mut self, c: &CompiledWithPlus, completed: u64) -> Result<QueryResult> {
+        self.run_with(c, Some(completed as usize))
+    }
+
+    fn run_with(&mut self, c: &CompiledWithPlus, resume: Option<usize>) -> Result<QueryResult> {
         let start = Instant::now();
         let run_span = aio_trace::maybe_span(self.tracer, "psm_run");
         if let Some(s) = &run_span {
             s.field("rec", c.rec_name.clone());
+            if let Some(k) = resume {
+                s.field("resumed_at", k as u64);
+            }
         }
         let wal_before = self.catalog.wal.bytes_written();
-        if self.catalog.contains(&c.rec_name) {
+        if resume.is_none() && self.catalog.contains(&c.rec_name) {
             return Err(WithPlusError::Restriction(format!(
                 "recursive relation {} collides with an existing table",
                 c.rec_name
             )));
+        }
+        if resume.is_some() {
+            // The recovered temp tables belong to this run now: register
+            // them so cleanup drops them exactly like a fresh run would.
+            for name in std::iter::once(c.rec_name.clone())
+                .chain(std::iter::once(format!("__delta_{}", c.rec_name)))
+                .chain(
+                    c.init
+                        .iter()
+                        .chain(c.recursive.iter())
+                        .flat_map(|s| s.computed.iter().map(|(n, _, _)| n.clone())),
+                )
+            {
+                if self.catalog.contains(&name) && !self.created.contains(&name) {
+                    self.created.push(name);
+                }
+            }
         }
         for (t, col) in &c.index_specs {
             self.index_specs
@@ -338,7 +388,7 @@ impl<'a> PsmRunner<'a> {
             }
         }
 
-        let result = self.run_inner(c, start);
+        let result = self.run_inner(c, resume);
 
         // drop every temp table this run created, even on error
         for t in std::mem::take(&mut self.created) {
@@ -353,29 +403,51 @@ impl<'a> PsmRunner<'a> {
         })
     }
 
-    fn run_inner(&mut self, c: &CompiledWithPlus, _start: Instant) -> Result<Relation> {
-        // --- initialization ------------------------------------------------
-        let mut init_rel: Option<Relation> = None;
-        for (i, step) in c.init.iter().enumerate() {
-            let label = format!("init[{i}]");
-            self.run_step_computed(step, &label)?;
-            let rel = self.eval(&step.plan, &label)?;
-            let rel = rename_to(rel, &c.rec_cols)?;
-            init_rel = Some(match init_rel {
-                None => rel,
-                Some(acc) => ops::union_all(&acc, &rel)?,
-            });
+    fn run_inner(&mut self, c: &CompiledWithPlus, resume: Option<usize>) -> Result<Relation> {
+        let working_name = format!("__delta_{}", c.rec_name);
+        let seminaive = matches!(c.union, UnionMode::All | UnionMode::Distinct);
+
+        if let Some(k) = resume {
+            // The recursive relation (and for semi-naive modes the working
+            // table) must have been recovered; the loop picks up where the
+            // last durable iteration commit left off.
+            if !self.catalog.contains(&c.rec_name) {
+                return Err(WithPlusError::Restriction(format!(
+                    "resume: recovered catalog has no relation {}",
+                    c.rec_name
+                )));
+            }
+            if seminaive && !self.catalog.contains(&working_name) {
+                return Err(WithPlusError::Restriction(format!(
+                    "resume: recovered catalog has no working table {working_name}"
+                )));
+            }
+            self.build_indexes(&c.rec_name)?;
+            let _ = k;
+        } else {
+            // --- initialization --------------------------------------------
+            let mut init_rel: Option<Relation> = None;
+            for (i, step) in c.init.iter().enumerate() {
+                let label = format!("init[{i}]");
+                self.run_step_computed(step, &label)?;
+                let rel = self.eval(&step.plan, &label)?;
+                let rel = rename_to(rel, &c.rec_cols)?;
+                init_rel = Some(match init_rel {
+                    None => rel,
+                    Some(acc) => ops::union_all(&acc, &rel)?,
+                });
+            }
+            let mut r0 = init_rel.expect("validated: at least one initial subquery");
+            // union-by-update keys double as the primary key of R
+            if let UnionMode::ByUpdate(Some(keys)) = &c.union {
+                let pk: Vec<usize> = keys
+                    .iter()
+                    .map(|k| r0.schema().index_of(k).map_err(WithPlusError::from))
+                    .collect::<Result<_>>()?;
+                r0.set_pk(Some(pk));
+            }
+            self.materialize(&c.rec_name, r0)?;
         }
-        let mut r0 = init_rel.expect("validated: at least one initial subquery");
-        // union-by-update keys double as the primary key of R
-        if let UnionMode::ByUpdate(Some(keys)) = &c.union {
-            let pk: Vec<usize> = keys
-                .iter()
-                .map(|k| r0.schema().index_of(k).map_err(WithPlusError::from))
-                .collect::<Result<_>>()?;
-            r0.set_pk(Some(pk));
-        }
-        self.materialize(&c.rec_name, r0)?;
 
         // resolve union-by-update key positions once
         let ubu_keys: Option<Vec<usize>> = match &c.union {
@@ -399,9 +471,7 @@ impl<'a> PsmRunner<'a> {
         // semi-naive semantics); `computed by` relations and union-by-update
         // queries read the full accumulated R. The working table starts as
         // the initialization result.
-        let working_name = format!("__delta_{}", c.rec_name);
-        let seminaive = matches!(c.union, UnionMode::All | UnionMode::Distinct);
-        if seminaive {
+        if seminaive && resume.is_none() {
             let w = self.catalog.relation(&c.rec_name)?.clone();
             self.materialize(&working_name, w)?;
         }
@@ -420,8 +490,14 @@ impl<'a> PsmRunner<'a> {
         // Everything counted so far belongs to initialization.
         self.stats.init_exec = self.stats.exec.clone();
 
+        // Durable commit point zero: the init result is on disk before the
+        // loop starts, so recovery can resume at iteration 0.
+        if resume.is_none() {
+            self.wal_commit_iter_point(&c.rec_name, 0)?;
+        }
+
         let max = c.max_recursion.unwrap_or(DEFAULT_MAX_RECURSION);
-        for it in 0..max {
+        for it in resume.unwrap_or(0)..max {
             let it_start = Instant::now();
             let exec_at_start = self.stats.exec.clone();
             let it_span = aio_trace::maybe_span(self.tracer, "iteration");
@@ -545,6 +621,10 @@ impl<'a> PsmRunner<'a> {
                     .snapshots
                     .push(self.catalog.relation(&c.rec_name)?.clone());
             }
+            // Durable iteration boundary: R (and the working table) as of
+            // the end of iteration `it` are committed before we decide to
+            // continue, so a crash mid-iteration resumes from here.
+            self.wal_commit_iter_point(&c.rec_name, (it + 1) as u64)?;
             if !changed {
                 break; // every C_i is false / fixpoint reached
             }

@@ -1,0 +1,266 @@
+//! The deterministic crash-simulation sweep (FoundationDB-style).
+//!
+//! One fixed workload — batched edge loading with a mid-load checkpoint,
+//! then five PageRank iterations under with+ — runs on a [`SimVfs`] that
+//! counts every mutating file-system operation. The sweep then re-runs the
+//! workload killing it at the K-th operation for every K, takes a crash
+//! image of the disk under three fates for the unsynced bytes (all lost,
+//! all kept, torn tail), recovers, and asserts:
+//!
+//! 1. **recovery is total** — `Database::open_with_vfs` never panics and
+//!    never errors on a crash image;
+//! 2. **committed data is exact** — the recovered edge table is a precise
+//!    batch prefix of the load sequence (transactions are atomic: no
+//!    partial batch is ever visible);
+//! 3. **interrupted fixpoints resume** — whenever recovery reports an
+//!    interrupted with+ run, [`Database::resume_interrupted`] completes it
+//!    and the result equals the uninterrupted baseline under the testkit
+//!    oracle comparison (`AlgoResult::NodeF64`, epsilon tolerance);
+//! 4. **recovery is idempotent** — a second open of the recovered disk
+//!    reproduces the same catalog content.
+//!
+//! Tier-1 strides through the crash points (`AIO_CRASH_STRIDE`, default 3);
+//! `./ci.sh full` runs the `#[ignore]`d exhaustive sweep at stride 1.
+//! A golden `RecoveryReport` rendering pins the report format.
+
+use aio_testkit::AlgoResult;
+use all_in_one::algebra::oracle_like;
+use all_in_one::algos::{pagerank, Tolerance};
+use all_in_one::graph::{generate, load, reference, GraphKind};
+use all_in_one::storage::{Relation, Row, SimVfs, UnsyncedFate, WalPolicy};
+use all_in_one::withplus::Database;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const NODES: usize = 30;
+const EDGES: usize = 90;
+const BATCH: usize = 32;
+const PR_ITERS: usize = 5;
+const DIR: &str = "db";
+
+/// The workload's edge rows (PageRank-normalized weights), fixed by seed.
+fn edge_rows() -> (Vec<Row>, Relation) {
+    let g = generate(GraphKind::PowerLaw, NODES, EDGES, true, 42);
+    let gw = reference::with_pagerank_weights(&g);
+    let e = load::edge_relation(&gw);
+    (e.rows().to_vec(), load::node_relation(&g))
+}
+
+fn empty_like(rel_rows: &[Row]) -> Relation {
+    let _ = rel_rows;
+    Relation::new(all_in_one::storage::edge_schema())
+}
+
+/// Run the full workload on `vfs`. Any step may fail once the simulated
+/// crash point is reached; the first error aborts the run (like a process
+/// kill would). Returns the PageRank result when the run got that far.
+fn workload(vfs: Arc<SimVfs>) -> all_in_one::withplus::Result<AlgoResult> {
+    let (rows, v) = edge_rows();
+    let (mut db, _report) = Database::open_with_vfs(vfs, DIR, oracle_like(), None)?;
+    db.create_table("V", v)?;
+    db.create_table("E", empty_like(&rows))?;
+    let batches: Vec<&[Row]> = rows.chunks(BATCH).collect();
+    let mid = batches.len() / 2;
+    for (i, b) in batches.iter().enumerate() {
+        db.catalog.insert_rows("E", b.to_vec(), WalPolicy::None)?;
+        if i + 1 == mid {
+            db.checkpoint()?;
+        }
+    }
+    db.set_param("c", 0.85);
+    db.set_param("n", NODES as f64);
+    let out = db.execute(&pagerank::sql(PR_ITERS))?;
+    Ok(node_f64(&out.relation))
+}
+
+fn node_f64(rel: &Relation) -> AlgoResult {
+    let m: BTreeMap<i64, f64> = rel
+        .iter()
+        .filter_map(|r| Some((r[0].as_int()?, r[1].as_f64()?)))
+        .collect();
+    AlgoResult::NodeF64(m)
+}
+
+/// The uninterrupted run: the oracle every resumed run must agree with.
+fn baseline() -> AlgoResult {
+    workload(Arc::new(SimVfs::new())).expect("baseline workload must succeed")
+}
+
+/// Count the mutating file-system operations of the uninterrupted run.
+fn total_ops() -> u64 {
+    let vfs = Arc::new(SimVfs::new());
+    workload(vfs.clone()).expect("counting run must succeed");
+    vfs.op_count()
+}
+
+fn assert_batch_prefix(e: &Relation, rows: &[Row], ctx: &str) {
+    let n = e.len();
+    assert!(
+        n == rows.len() || n.is_multiple_of(BATCH),
+        "{ctx}: recovered E has {n} rows — not a whole-batch prefix"
+    );
+    assert!(n <= rows.len(), "{ctx}: recovered E has {n} > {} rows", rows.len());
+    for (i, r) in e.iter().enumerate() {
+        assert_eq!(r, &rows[i], "{ctx}: recovered E row {i} differs from the load order");
+    }
+}
+
+fn check_crash_point(k: u64, fate: UnsyncedFate, rows: &[Row], oracle: &AlgoResult) {
+    let ctx = format!("crash at op {k}, fate {fate:?}");
+    let vfs = Arc::new(SimVfs::new());
+    vfs.set_crash_at(k);
+    let run = workload(vfs.clone());
+    if !vfs.has_crashed() {
+        run.unwrap_or_else(|e| panic!("{ctx}: run failed without crashing: {e}"));
+    }
+
+    // Invariant 1: recovery is total on the crash image.
+    let img = Arc::new(vfs.crash_image(fate));
+    let (mut db, report) = Database::open_with_vfs(img.clone(), DIR, oracle_like(), None)
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+
+    // Invariant 2: committed data is an exact batch prefix.
+    if db.catalog.contains("E") {
+        assert_batch_prefix(db.catalog.relation("E").unwrap(), rows, &ctx);
+    }
+    if db.catalog.contains("V") {
+        assert_eq!(db.catalog.relation("V").unwrap().len(), NODES, "{ctx}: V truncated");
+    }
+
+    // Invariant 3: an interrupted fixpoint resumes to the oracle's answer.
+    if report.interrupted.is_some() {
+        let out = db
+            .resume_interrupted()
+            .unwrap_or_else(|e| panic!("{ctx}: resume failed: {e}"))
+            .expect("interrupted implies resumable");
+        let resumed = node_f64(&out.relation);
+        resumed
+            .compare(oracle, &Tolerance::Epsilon { eps: 1e-9, rank_top: 0 })
+            .unwrap_or_else(|e| panic!("{ctx}: resumed fixpoint diverges from baseline: {e}"));
+    }
+
+    // Invariant 4: recovery is idempotent — a second open of the same
+    // (now repaired) disk reproduces the same content.
+    let img2 = Arc::new(img.crash_image(UnsyncedFate::DropAll));
+    let (db2, report2) = Database::open_with_vfs(img2, DIR, oracle_like(), None)
+        .unwrap_or_else(|e| panic!("{ctx}: second recovery failed: {e}"));
+    assert!(
+        report2.corrupt.is_none(),
+        "{ctx}: second open still sees corruption: {:?}",
+        report2.corrupt
+    );
+    // `resume_interrupted` above ran the fixpoint to completion on `db`,
+    // so only compare images when nothing was resumed in between.
+    if report.interrupted.is_none() {
+        assert!(
+            db.catalog.same_content(&db2.catalog),
+            "{ctx}: second recovery produced different content"
+        );
+    }
+}
+
+fn sweep(stride: u64) {
+    let (rows, _) = edge_rows();
+    let oracle = baseline();
+    let total = total_ops();
+    assert!(total > 40, "workload too small to be interesting: {total} ops");
+    let fates = [
+        UnsyncedFate::DropAll,
+        UnsyncedFate::KeepAll,
+        UnsyncedFate::Torn(0x5EED),
+    ];
+    let mut points = 0u64;
+    let mut k = 1;
+    while k <= total {
+        for fate in fates {
+            check_crash_point(k, fate, &rows, &oracle);
+        }
+        points += 1;
+        k += stride;
+    }
+    eprintln!("crash sweep: {points} crash points × {} fates over {total} ops", fates.len());
+}
+
+/// Tier-1: strided sweep (`AIO_CRASH_STRIDE` to tune; default 3).
+#[test]
+fn crash_sweep_strided() {
+    let stride = std::env::var("AIO_CRASH_STRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(3);
+    sweep(stride);
+}
+
+/// Exhaustive: every mutating operation is a crash point (`./ci.sh full`).
+#[test]
+#[ignore = "exhaustive crash sweep: run via ./ci.sh full"]
+fn crash_sweep_exhaustive() {
+    sweep(1);
+}
+
+/// A crash *between* statements (clean shutdown without checkpoint) loses
+/// nothing that was committed.
+#[test]
+fn clean_image_recovers_everything() {
+    let (rows, _) = edge_rows();
+    let vfs = Arc::new(SimVfs::new());
+    workload(vfs.clone()).unwrap();
+    let img = Arc::new(vfs.crash_image(UnsyncedFate::DropAll));
+    let (db, report) = Database::open_with_vfs(img, DIR, oracle_like(), None).unwrap();
+    assert!(report.interrupted.is_none(), "completed run must not be interrupted");
+    assert!(report.corrupt.is_none());
+    assert_eq!(db.catalog.relation("E").unwrap().len(), rows.len());
+    assert_eq!(db.catalog.relation("V").unwrap().len(), NODES);
+    // the with+ run's temporaries were durably dropped at run end
+    for name in db.catalog.names() {
+        assert!(
+            !db.catalog.entry(&name).unwrap().temp,
+            "temp table {name} survived a completed run"
+        );
+    }
+}
+
+/// Golden rendering of the `RecoveryReport` for a fixed crash scenario:
+/// regenerate with `GOLDEN_WRITE=1 cargo test --test crash_recovery`.
+#[test]
+fn recovery_report_matches_golden() {
+    const GOLDEN_PATH: &str = "tests/golden/recovery_report.txt";
+    let (rows, v) = edge_rows();
+    let vfs = Arc::new(SimVfs::new());
+    {
+        let (mut db, _) =
+            Database::open_with_vfs(vfs.clone(), DIR, oracle_like(), None).unwrap();
+        db.create_table("V", v).unwrap();
+        db.create_table("E", empty_like(&rows)).unwrap();
+        db.catalog
+            .insert_rows("E", rows[..BATCH].to_vec(), WalPolicy::None)
+            .unwrap();
+        db.checkpoint().unwrap();
+        db.catalog
+            .insert_rows("E", rows[BATCH..2 * BATCH].to_vec(), WalPolicy::None)
+            .unwrap();
+        // a with+ run that committed its init and one iteration, then died
+        db.catalog
+            .wal_run_begin("P", &pagerank::sql(PR_ITERS), &[("c".into(), 0.85.into())])
+            .unwrap();
+        db.catalog
+            .create_temp("P", load::node_relation(&generate(GraphKind::PowerLaw, 4, 4, true, 1)))
+            .unwrap();
+        db.catalog.wal_commit_iter("P", 1).unwrap();
+    }
+    let img = Arc::new(vfs.crash_image(UnsyncedFate::DropAll));
+    let (_db, report) = Database::open_with_vfs(img, DIR, oracle_like(), None).unwrap();
+    let actual = report.to_string();
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("GOLDEN_WRITE").is_some() {
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("wrote {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN_PATH} ({e}); run with GOLDEN_WRITE=1")
+    });
+    assert_eq!(expected, actual, "RecoveryReport rendering changed");
+}
