@@ -62,6 +62,21 @@ test -s "$dur_dir/BENCH_durability.json"
 grep -q "≥10k records/s bar: PASS" "$dur_dir/durability.out"
 rm -rf "$dur_dir"
 
+# columnar smoke: the row vs batch A/B must run at reduced scale with
+# identical results in both modes (asserted inside the binary) and emit a
+# well-formed BENCH_columnar.json. The batch-vs-everything differential
+# smoke (tests/columnar_equivalence.rs) is part of the default `cargo
+# test` above; the ≥2x speedup bar is only meaningful at full scale and
+# is enforced by `./ci.sh full`.
+col_dir="$(mktemp -d)"
+(cd "$col_dir" && "$repro_bin" columnar --scale 0.02) |
+    tee "$col_dir/columnar.out"
+grep -q "speedup" "$col_dir/columnar.out"
+test -s "$col_dir/BENCH_columnar.json"
+grep -q '"experiment": "columnar"' "$col_dir/BENCH_columnar.json"
+grep -q '"verdict"' "$col_dir/BENCH_columnar.json"
+rm -rf "$col_dir"
+
 if [ "$mode" = full ]; then
     # zero-cost-when-disabled bar: <2% overhead on a ~1M-edge hash join
     # (writes BENCH_trace_overhead.json; the binary prints the verdict).
@@ -75,4 +90,10 @@ if [ "$mode" = full ]; then
     echo "$dur_out"
     echo "$dur_out" | grep -q "≤25% bar: PASS"
     echo "$dur_out" | grep -q "≥10k records/s bar: PASS"
+
+    # columnar bar at full scale: ≥2x single-core speedup on at least one
+    # of join / group-by / PageRank (BENCH_columnar.json).
+    col_out="$(cargo run --release -p aio-bench --bin repro -- columnar)"
+    echo "$col_out"
+    echo "$col_out" | grep -q "≥2x bar: PASS"
 fi

@@ -27,6 +27,11 @@ pub struct NodeAgg {
     /// only stamped when the evaluator traces with statistics available.
     pub est_rows: u64,
     pub est_recorded: u64,
+    /// Columnar batches produced (field `batches`), stamped only when the
+    /// evaluator runs in [`ExecMode::Batch`](crate::profile::ExecMode) and
+    /// the node produced columns; row-mode renders are unchanged.
+    pub batches: u64,
+    pub batches_recorded: u64,
 }
 
 impl NodeAgg {
@@ -40,6 +45,10 @@ impl NodeAgg {
         if let Some(e) = s.field_u64("est_rows") {
             self.est_rows += e;
             self.est_recorded += 1;
+        }
+        if let Some(b) = s.field_u64("batches") {
+            self.batches += b;
+            self.batches_recorded += 1;
         }
     }
 }
@@ -224,6 +233,9 @@ fn render_node(
     match by_node.get(&id) {
         Some(a) => {
             out.push_str(&format!("  (calls={} rows={}", a.calls, a.rows_out));
+            if a.batches_recorded > 0 {
+                out.push_str(&format!(" batches={}", a.batches));
+            }
             if a.est_recorded > 0 {
                 out.push_str(&format!(" est={}", a.est_rows));
             }
@@ -348,6 +360,25 @@ mod tests {
         let stable = render_analyzed(&hop_plan(), &spans, false);
         assert!(!stable.contains("time="), "{stable}");
         assert!(stable.contains("morsels=1"), "{stable}");
+    }
+
+    #[test]
+    fn batch_mode_annotates_batches_row_mode_does_not() {
+        let c = catalog();
+        let t = Tracer::new();
+        let profile = oracle_like().with_exec(crate::profile::ExecMode::Batch);
+        execute_traced(&hop_plan(), &c, &profile, Some(&t)).unwrap();
+        let trace = t.finish();
+        let spans: Vec<&aio_trace::SpanRecord> = trace.spans.iter().collect();
+        let text = render_analyzed(&hop_plan(), &spans, false);
+        assert!(text.contains(" batches="), "{text}");
+
+        let t2 = Tracer::new();
+        execute_traced(&hop_plan(), &c, &oracle_like(), Some(&t2)).unwrap();
+        let trace2 = t2.finish();
+        let spans2: Vec<&aio_trace::SpanRecord> = trace2.spans.iter().collect();
+        let row_text = render_analyzed(&hop_plan(), &spans2, false);
+        assert!(!row_text.contains("batches="), "{row_text}");
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub fn select_par(
 /// Infer an output column for a projection item. A dotted alias
 /// (`"E1.F"`) yields a *qualified* column, so plan rewrites can project
 /// columns back into place without losing their qualifiers.
-fn out_column(expr: &ScalarExpr, alias: &str, input: &Schema) -> Column {
+pub(crate) fn out_column(expr: &ScalarExpr, alias: &str, input: &Schema) -> Column {
     let ty = match expr {
         ScalarExpr::BoundCol(i) => input.columns()[*i].ty,
         ScalarExpr::Lit(v) => match v {

@@ -16,16 +16,16 @@ use aio_storage::{Column, DataType, FxHashMap, Key, Relation, Schema, Value};
 
 /// A projection item compiled for grouped evaluation: aggregates extracted,
 /// plain column references remapped to group-key positions.
-struct CompiledItem {
+pub(crate) struct CompiledItem {
     /// Expression over the synthetic row `[key values..]` with `AggRef`s.
-    expr: ScalarExpr,
-    name: String,
+    pub(crate) expr: ScalarExpr,
+    pub(crate) name: String,
 }
 
-struct Compiled {
-    items: Vec<CompiledItem>,
+pub(crate) struct Compiled {
+    pub(crate) items: Vec<CompiledItem>,
     /// (function, bound argument over the input schema)
-    aggs: Vec<(AggFunc, ScalarExpr)>,
+    pub(crate) aggs: Vec<(AggFunc, ScalarExpr)>,
 }
 
 /// Rewrite a bound expression: extract `Agg` nodes into `aggs`, remap
@@ -76,15 +76,15 @@ fn rewrite(
     })
 }
 
-fn compile(
-    input: &Relation,
+pub(crate) fn compile(
+    input: &Schema,
     group_cols: &[usize],
     items: &[(ScalarExpr, String)],
 ) -> Result<Compiled> {
     let mut aggs = Vec::new();
     let mut out = Vec::with_capacity(items.len());
     for (e, name) in items {
-        let bound = e.bind(input.schema())?;
+        let bound = e.bind(input)?;
         let expr = rewrite(&bound, group_cols, &mut aggs)?;
         out.push(CompiledItem {
             expr,
@@ -94,14 +94,14 @@ fn compile(
     Ok(Compiled { items: out, aggs })
 }
 
-fn output_schema(input: &Relation, group_cols: &[usize], c: &Compiled) -> Schema {
+pub(crate) fn output_schema(input: &Schema, group_cols: &[usize], c: &Compiled) -> Schema {
     Schema::new(
         c.items
             .iter()
             .map(|it| {
                 let ty = match &it.expr {
                     // plain key passthrough keeps its type
-                    ScalarExpr::BoundCol(k) => input.columns_type(group_cols[*k]),
+                    ScalarExpr::BoundCol(k) => input.columns()[group_cols[*k]].ty,
                     _ => DataType::Any,
                 };
                 Column::new(&it.name, ty)
@@ -110,16 +110,7 @@ fn output_schema(input: &Relation, group_cols: &[usize], c: &Compiled) -> Schema
     )
 }
 
-trait ColumnsType {
-    fn columns_type(&self, i: usize) -> DataType;
-}
-impl ColumnsType for Relation {
-    fn columns_type(&self, i: usize) -> DataType {
-        self.schema().columns()[i].ty
-    }
-}
-
-fn finish_group(
+pub(crate) fn finish_group(
     key: &Key,
     accs: Vec<Accumulator>,
     c: &Compiled,
@@ -168,8 +159,8 @@ pub fn group_by_par(
         .iter()
         .map(|r| input.schema().index_of(r).map_err(Into::into))
         .collect::<Result<_>>()?;
-    let c = compile(input, &group_cols, items)?;
-    let schema = output_schema(input, &group_cols, &c);
+    let c = compile(input.schema(), &group_cols, items)?;
+    let schema = output_schema(input.schema(), &group_cols, &c);
     let mut out = Relation::new(schema);
 
     if group_cols.is_empty() {

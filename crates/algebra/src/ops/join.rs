@@ -46,7 +46,7 @@ pub fn last_join_phases() -> JoinPhases {
     LAST_JOIN.with(|c| c.get())
 }
 
-fn record_phases(p: JoinPhases) {
+pub(crate) fn record_phases(p: JoinPhases) {
     LAST_JOIN.with(|c| c.set(p));
 }
 
@@ -75,11 +75,21 @@ impl JoinKeys {
         right: &Relation,
         on: &[(String, String)],
     ) -> Result<JoinKeys> {
+        JoinKeys::resolve_schemas(left.schema(), right.schema(), on)
+    }
+
+    /// [`JoinKeys::resolve`] against bare schemas — the columnar evaluator
+    /// has no `Relation`s to hand.
+    pub fn resolve_schemas(
+        left: &aio_storage::Schema,
+        right: &aio_storage::Schema,
+        on: &[(String, String)],
+    ) -> Result<JoinKeys> {
         let mut l = Vec::with_capacity(on.len());
         let mut r = Vec::with_capacity(on.len());
         for (ln, rn) in on {
-            l.push(left.schema().index_of(ln)?);
-            r.push(right.schema().index_of(rn)?);
+            l.push(left.index_of(ln)?);
+            r.push(right.index_of(rn)?);
         }
         Ok(JoinKeys { left: l, right: r })
     }
@@ -192,6 +202,7 @@ fn nested_loop(
 ) -> Result<Relation> {
     let mut out = Relation::new(schema);
     let mut right_matched = vec![false; right.len()];
+    let rpad = null_row(right.schema().arity());
     for lrow in left.iter() {
         let mut matched = false;
         for (ri, rrow) in right.iter().enumerate() {
@@ -203,13 +214,14 @@ fn nested_loop(
             }
         }
         if !matched && jt != JoinType::Inner {
-            out.rows_mut().push(concat(lrow, &null_row(right.schema().arity())));
+            out.rows_mut().push(concat(lrow, &rpad));
         }
     }
     if jt == JoinType::Full {
+        let lpad = null_row(left.schema().arity());
         for (ri, rrow) in right.iter().enumerate() {
             if !right_matched[ri] {
-                out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
+                out.rows_mut().push(concat(&lpad, rrow));
             }
         }
     }
@@ -227,6 +239,7 @@ fn keyed_nested_loop(
     // Equality keys become part of the predicate of a plain nested loop.
     let mut out = Relation::new(schema);
     let mut right_matched = vec![false; right.len()];
+    let rpad = null_row(right.schema().arity());
     for lrow in left.iter() {
         let mut matched = false;
         if !key_has_null(lrow, &keys.left) {
@@ -243,13 +256,14 @@ fn keyed_nested_loop(
             }
         }
         if !matched && jt != JoinType::Inner {
-            out.rows_mut().push(concat(lrow, &null_row(right.schema().arity())));
+            out.rows_mut().push(concat(lrow, &rpad));
         }
     }
     if jt == JoinType::Full {
+        let lpad = null_row(left.schema().arity());
         for (ri, rrow) in right.iter().enumerate() {
             if !right_matched[ri] {
-                out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
+                out.rows_mut().push(concat(&lpad, rrow));
             }
         }
     }
@@ -285,6 +299,7 @@ fn hash_join(
     let rarity = right.schema().arity();
     let nwords = right.len().div_ceil(64);
     let probe_start = Instant::now();
+    let rpad = null_row(rarity);
     let (bufs, info) = crate::par::run_morsels(left.len(), par, |range| {
         let mut rows: Vec<Row> = Vec::new();
         let mut matched = vec![0u64; if jt == JoinType::Full { nwords } else { 0 }];
@@ -303,7 +318,7 @@ fn hash_join(
                 }
             }
             if !any && jt != JoinType::Inner {
-                rows.push(concat(lrow, &null_row(rarity)));
+                rows.push(concat(lrow, &rpad));
             }
         }
         Ok((rows, matched))
@@ -324,9 +339,10 @@ fn hash_join(
                 *acc |= w;
             }
         }
+        let lpad = null_row(left.schema().arity());
         for (ri, rrow) in right.iter().enumerate() {
             if right_matched[ri / 64] & (1 << (ri % 64)) == 0 {
-                out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
+                out.rows_mut().push(concat(&lpad, rrow));
             }
         }
     } else {
@@ -422,17 +438,16 @@ fn merge_join(
     }
     if jt != JoinType::Inner {
         left_unmatched.extend_from_slice(&lorder[i..]);
+        let rpad = null_row(right.schema().arity());
         for li in left_unmatched {
-            out.rows_mut().push(concat(
-                &lrows[li as usize],
-                &null_row(right.schema().arity()),
-            ));
+            out.rows_mut().push(concat(&lrows[li as usize], &rpad));
         }
     }
     if jt == JoinType::Full {
+        let lpad = null_row(left.schema().arity());
         for (ri, rrow) in rrows.iter().enumerate() {
             if !right_matched[ri] {
-                out.rows_mut().push(concat(&null_row(left.schema().arity()), rrow));
+                out.rows_mut().push(concat(&lpad, rrow));
             }
         }
     }
@@ -444,16 +459,17 @@ fn merge_join(
     Ok(out)
 }
 
-/// Either an index scan (free) or a fresh sort (counted).
-fn obtain_order(
+/// Either an index scan (borrowed from the stored index order — no copy)
+/// or a fresh sort (counted).
+fn obtain_order<'a>(
     rel: &Relation,
     cols: &[usize],
-    provided: Option<&[u32]>,
+    provided: Option<&'a [u32]>,
     stats: &mut ExecStats,
-) -> Vec<u32> {
+) -> std::borrow::Cow<'a, [u32]> {
     if let Some(p) = provided {
         stats.index_scans += 1;
-        return p.to_vec();
+        return std::borrow::Cow::Borrowed(p);
     }
     stats.sorts += 1;
     let rows = rel.rows();
@@ -468,7 +484,7 @@ fn obtain_order(
         }
         std::cmp::Ordering::Equal
     });
-    perm
+    std::borrow::Cow::Owned(perm)
 }
 
 /// Convenience: resolve names and join (used widely in tests and ops).

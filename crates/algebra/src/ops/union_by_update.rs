@@ -23,7 +23,9 @@
 use crate::error::{AlgebraError, Result};
 use crate::profile::EngineProfile;
 use crate::stats::ExecStats;
-use aio_storage::{Catalog, FxHashMap, Key, Relation, Row, WalPolicy};
+use aio_storage::{
+    key_hash, keys_eq, Catalog, FxHashMap, Key, Relation, Row, Value, WalPolicy,
+};
 
 /// Physical implementation of union-by-update.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +61,70 @@ impl UbuImpl {
             UbuImpl::Merge => !profile_name.starts_with("postgres"),
             _ => true,
         }
+    }
+}
+
+/// Borrowed-key hash index over the delta's key columns: precomputed hash
+/// → delta row indices, probed with [`keys_eq`] so neither the build nor
+/// the per-target-row probe clones a `Value`. A [`Key`] is materialized
+/// only on the duplicate-key *error* path. Unlike
+/// [`aio_storage::KeyIndex`], rows with NULL keys are indexed: this
+/// operation matches with *storage* equality (NULL keys do match), unlike
+/// the SQL joins.
+struct DeltaIndex<'a> {
+    delta: &'a Relation,
+    keys: &'a [usize],
+    buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+impl<'a> DeltaIndex<'a> {
+    /// Build over `delta[keys]`. With `unique`, two delta rows sharing a
+    /// key error with [`AlgebraError::NonUniqueUpdate`] — Section 4.1's
+    /// "we do not allow multiple s to match a single r" rule.
+    fn build(
+        delta: &'a Relation,
+        keys: &'a [usize],
+        unique: bool,
+        ctx: &str,
+    ) -> Result<DeltaIndex<'a>> {
+        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        buckets.reserve(delta.len());
+        for (i, row) in delta.rows().iter().enumerate() {
+            let bucket = buckets.entry(key_hash(row, keys)).or_default();
+            if unique
+                && bucket
+                    .iter()
+                    .any(|&j| keys_eq(&delta.rows()[j as usize], keys, row, keys))
+            {
+                let k = Key::of(row, keys);
+                return Err(AlgebraError::NonUniqueUpdate(format!(
+                    "{ctx}: duplicate key {k:?}"
+                )));
+            }
+            bucket.push(i as u32);
+        }
+        Ok(DeltaIndex { delta, keys, buckets })
+    }
+
+    /// First delta row matching `row` on the key columns (build order).
+    fn first(&self, row: &[Value]) -> Option<usize> {
+        self.buckets.get(&key_hash(row, self.keys))?.iter().find_map(|&j| {
+            keys_eq(&self.delta.rows()[j as usize], self.keys, row, self.keys)
+                .then_some(j as usize)
+        })
+    }
+
+    /// Last delta row matching `row` — `UPDATE ... FROM`'s silent
+    /// last-wins rule among duplicate-keyed delta rows.
+    fn last(&self, row: &[Value]) -> Option<usize> {
+        self.buckets
+            .get(&key_hash(row, self.keys))?
+            .iter()
+            .rev()
+            .find_map(|&j| {
+                keys_eq(&self.delta.rows()[j as usize], self.keys, row, self.keys)
+                    .then_some(j as usize)
+            })
     }
 }
 
@@ -98,9 +164,7 @@ pub fn union_by_update(
         UbuImpl::Merge => {
             // MERGE checks that the source has no duplicate join keys and
             // errors otherwise — the uniqueness rule of Section 4.1.
-            let dmap = delta.unique_key_map(keys).map_err(|e| {
-                AlgebraError::NonUniqueUpdate(format!("merge source: {e}"))
-            })?;
+            let idx = DeltaIndex::build(&delta, keys, true, "merge source")?;
             let wal_update = profile.wal_update;
             let mut matched = vec![false; delta.len()];
             // Split borrow: take rows out, mutate, put back, then log.
@@ -108,8 +172,7 @@ pub fn union_by_update(
             {
                 let t = catalog.relation_mut(target)?;
                 for row in t.rows_mut().iter_mut() {
-                    let k = Key::of(row, keys);
-                    if let Some(&di) = dmap.get(&k) {
+                    if let Some(di) = idx.first(row) {
                         matched[di] = true;
                         let before = row.clone();
                         *row = delta.rows()[di].clone();
@@ -134,19 +197,18 @@ pub fn union_by_update(
         }
         UbuImpl::UpdateFrom => {
             // No duplicate detection: last delta row wins silently.
-            let mut dmap: FxHashMap<Key, usize> = FxHashMap::default();
-            for (i, row) in delta.rows().iter().enumerate() {
-                dmap.insert(Key::of(row, keys), i);
-            }
+            let idx = DeltaIndex::build(&delta, keys, false, "update from")?;
             let wal_update = profile.wal_update;
-            let mut matched_keys: aio_storage::FxHashSet<Key> = Default::default();
+            // `matched[di]` marks last-wins winners whose key hit a target
+            // row; losers never update or insert, so winners carry the
+            // whole "key matched" fact.
+            let mut matched = vec![false; delta.len()];
             let mut updates: Vec<(Row, Row)> = Vec::new();
             {
                 let t = catalog.relation_mut(target)?;
                 for row in t.rows_mut().iter_mut() {
-                    let k = Key::of(row, keys);
-                    if let Some(&di) = dmap.get(&k) {
-                        matched_keys.insert(k);
+                    if let Some(di) = idx.last(row) {
+                        matched[di] = true;
                         let before = row.clone();
                         *row = delta.rows()[di].clone();
                         updates.push((before, row.clone()));
@@ -165,10 +227,7 @@ pub fn union_by_update(
                 .rows()
                 .iter()
                 .enumerate()
-                .filter(|(i, r)| {
-                    let k = Key::of(r, keys);
-                    !matched_keys.contains(&k) && dmap[&k] == *i
-                })
+                .filter(|(i, r)| idx.last(r) == Some(*i) && !matched[*i])
                 .map(|(_, r)| r.clone())
                 .collect();
             stats.rows_produced += (updates.len() + inserts.len()) as u64;
@@ -176,15 +235,11 @@ pub fn union_by_update(
             Ok(())
         }
         UbuImpl::FullOuterJoin | UbuImpl::DropAlter => {
-            let dmap = delta.unique_key_map(keys).map_err(|e| {
-                AlgebraError::NonUniqueUpdate(format!("union-by-update source: {e}"))
-            })?;
+            let idx = DeltaIndex::build(&delta, keys, true, "union-by-update source")?;
             // coalesce(S.*, R.*) per key, plus S-only rows — one pass each.
             // The probe over the target runs in morsels; per-morsel buffers
             // concatenate in morsel order, so the materialized relation is
-            // identical at any parallelism. The Key-based dmap stays: this
-            // operation matches with *storage* equality (NULL keys do
-            // match), unlike the SQL joins.
+            // identical at any parallelism.
             let par = profile.effective_parallelism();
             let mut matched = vec![false; delta.len()];
             let mut new_rows: Vec<Row>;
@@ -194,9 +249,8 @@ pub fn union_by_update(
                     let mut rows: Vec<Row> = Vec::with_capacity(range.len());
                     let mut hit: Vec<u32> = Vec::new();
                     for row in &t.rows()[range] {
-                        let k = Key::of(row, keys);
-                        match dmap.get(&k) {
-                            Some(&di) => {
+                        match idx.first(row) {
+                            Some(di) => {
                                 hit.push(di as u32);
                                 rows.push(delta.rows()[di].clone());
                             }

@@ -11,9 +11,9 @@ use crate::expr::ScalarExpr;
 use crate::ops;
 use crate::ops::anti_join::AntiJoinImpl;
 use crate::ops::join::{JoinKeys, JoinOrders, JoinType};
-use crate::profile::EngineProfile;
+use crate::profile::{EngineProfile, ExecMode, JoinStrategy};
 use crate::stats::ExecStats;
-use aio_storage::{Catalog, Relation};
+use aio_storage::{Batch, Catalog, Relation};
 
 /// A logical plan node.
 #[derive(Clone, Debug)]
@@ -251,6 +251,9 @@ impl<'a> Evaluator<'a> {
         if self.tracer.is_some() {
             self.est = crate::stats::estimate_nodes(plan, self.catalog);
         }
+        if self.profile.exec == ExecMode::Batch {
+            return Ok(self.eval_batch(plan)?.into_relation());
+        }
         self.eval(plan)
     }
 
@@ -420,6 +423,248 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Columnar evaluation ([`ExecMode::Batch`]): operators with batch
+    /// kernels keep data in typed SoA columns; the rest bridge through the
+    /// row operators via an exact `Batch` ⇄ `Relation` transpose, so the
+    /// result is row-for-row identical to [`Evaluator::eval`]. Spans carry
+    /// the same pre-order node ids and fields as the row path, plus a
+    /// `batches` count on columnar outputs.
+    fn eval_batch(&mut self, plan: &Plan) -> Result<BVal> {
+        let Some(t) = self.tracer else {
+            return self.eval_node_batch(plan);
+        };
+        let node = self.node_seq;
+        self.node_seq += 1;
+        let span = t.span(op_name(plan));
+        span.field("node", node);
+        if let Some(&e) = self.est.get(node as usize) {
+            span.field("est_rows", e);
+        }
+        if let Plan::Scan { table, alias } = plan {
+            span.field("table", table.as_str());
+            if let Some(a) = alias {
+                span.field("alias", a.as_str());
+            }
+        }
+        let out = self.eval_node_batch(plan)?;
+        span.field("rows_out", out.len() as u64);
+        if let BVal::Cols(b) = &out {
+            let batches = b.len().div_ceil(self.profile.batch_size.max(1)).max(1);
+            span.field("batches", batches as u64);
+        }
+        if matches!(plan, Plan::Join { .. }) {
+            let ph = ops::last_join_phases();
+            span.field("morsels", ph.morsels);
+            span.field("build_ns", ph.build_ns);
+            span.field("probe_ns", ph.probe_ns);
+        }
+        Ok(out)
+    }
+
+    fn eval_node_batch(&mut self, plan: &Plan) -> Result<BVal> {
+        match plan {
+            Plan::Scan { table, alias } => {
+                let rel = self.catalog.relation(table)?;
+                self.stats.rows_scanned += rel.len() as u64;
+                let qual = alias.as_deref().unwrap_or(table_basename(table));
+                Ok(BVal::Cols(crate::batch::scan(rel, qual)))
+            }
+            Plan::Values(rel) => Ok(BVal::Cols(Batch::from_relation(rel))),
+            Plan::Select { input, pred } => {
+                let b = self.eval_batch(input)?.into_batch();
+                let out = crate::batch::select(
+                    &b,
+                    pred,
+                    self.par(),
+                    self.profile.batch_size,
+                    &mut self.stats,
+                )?;
+                self.stats.rows_produced += out.len() as u64;
+                Ok(BVal::Cols(out))
+            }
+            Plan::Project { input, items } => {
+                let b = self.eval_batch(input)?.into_batch();
+                let out = crate::batch::project(&b, items, self.par(), &mut self.stats)?;
+                self.stats.rows_produced += out.len() as u64;
+                Ok(BVal::Cols(out))
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                items,
+            } => {
+                let b = self.eval_batch(input)?.into_batch();
+                match crate::batch::group_by(
+                    &b,
+                    group_by,
+                    items,
+                    self.profile.agg,
+                    self.par(),
+                    &mut self.stats,
+                )? {
+                    Some(out) => Ok(BVal::Cols(out)),
+                    None => {
+                        let rel = b.to_relation();
+                        Ok(BVal::Rows(ops::group_by_par(
+                            &rel,
+                            group_by,
+                            items,
+                            self.profile.agg,
+                            self.par(),
+                            &mut self.stats,
+                        )?))
+                    }
+                }
+            }
+            Plan::Window {
+                input,
+                partition_by,
+                items,
+            } => {
+                let rel = self.eval_batch(input)?.into_relation();
+                Ok(BVal::Rows(ops::window(&rel, partition_by, items, &mut self.stats)?))
+            }
+            Plan::Distinct(input) => {
+                let rel = self.eval_batch(input)?.into_relation();
+                Ok(BVal::Rows(ops::distinct(&rel)))
+            }
+            Plan::Join {
+                left,
+                right,
+                on,
+                residual,
+                kind,
+            } => {
+                let lidx_src = self.index_source(left, on.iter().map(|(l, _)| l.as_str()));
+                let ridx_src = self.index_source(right, on.iter().map(|(_, r)| r.as_str()));
+                let lb = self.eval_batch(left)?;
+                let rb = self.eval_batch(right)?;
+                if self.profile.join == JoinStrategy::Hash && residual.is_none() {
+                    let lbat = lb.into_batch();
+                    let rbat = rb.into_batch();
+                    let keys = JoinKeys::resolve_schemas(lbat.schema(), rbat.schema(), on)?;
+                    if !keys.left.is_empty() {
+                        if let Some(out) = crate::batch::hash_join(
+                            &lbat,
+                            &rbat,
+                            &keys,
+                            *kind,
+                            self.par(),
+                            &mut self.stats,
+                        )? {
+                            return Ok(BVal::Cols(out));
+                        }
+                    }
+                    // non-Int keys: bridge through the row join
+                    return self.row_join(
+                        &lbat.to_relation(),
+                        &rbat.to_relation(),
+                        on,
+                        residual,
+                        *kind,
+                        lidx_src,
+                        ridx_src,
+                    );
+                }
+                self.row_join(
+                    &lb.into_relation(),
+                    &rb.into_relation(),
+                    on,
+                    residual,
+                    *kind,
+                    lidx_src,
+                    ridx_src,
+                )
+            }
+            Plan::Product { left, right } => {
+                let l = self.eval_batch(left)?.into_relation();
+                let r = self.eval_batch(right)?.into_relation();
+                self.stats.joins += 1;
+                let out = ops::product(&l, &r)?;
+                self.stats.rows_produced += out.len() as u64;
+                Ok(BVal::Rows(out))
+            }
+            Plan::UnionAll { left, right } => {
+                let l = self.eval_batch(left)?.into_batch();
+                let r = self.eval_batch(right)?.into_batch();
+                Ok(BVal::Cols(crate::batch::union_all(&l, &r)?))
+            }
+            Plan::Union { left, right } => {
+                let l = self.eval_batch(left)?.into_relation();
+                let r = self.eval_batch(right)?.into_relation();
+                Ok(BVal::Rows(ops::union_distinct(&l, &r)?))
+            }
+            Plan::Difference { left, right } => {
+                let l = self.eval_batch(left)?.into_relation();
+                let r = self.eval_batch(right)?.into_relation();
+                Ok(BVal::Rows(ops::difference(&l, &r)?))
+            }
+            Plan::AntiJoin {
+                left,
+                right,
+                on,
+                imp,
+            } => {
+                let l = self.eval_batch(left)?.into_relation();
+                let r = self.eval_batch(right)?.into_relation();
+                let keys = JoinKeys::resolve(&l, &r, on)?;
+                Ok(BVal::Rows(ops::anti_join_par(
+                    &l,
+                    &r,
+                    &keys,
+                    *imp,
+                    self.profile.join,
+                    self.par(),
+                    &mut self.stats,
+                )?))
+            }
+            Plan::SemiJoin { left, right, on } => {
+                let l = self.eval_batch(left)?.into_relation();
+                let r = self.eval_batch(right)?.into_relation();
+                let keys = JoinKeys::resolve(&l, &r, on)?;
+                Ok(BVal::Rows(ops::semi_join_par(&l, &r, &keys, self.par(), &mut self.stats)?))
+            }
+        }
+    }
+
+    /// The row-engine join, shared by batch-mode bridges (merge/nested
+    /// strategies, residual predicates, non-Int keys).
+    #[allow(clippy::too_many_arguments)]
+    fn row_join(
+        &mut self,
+        lrel: &Relation,
+        rrel: &Relation,
+        on: &[(String, String)],
+        residual: &Option<ScalarExpr>,
+        kind: JoinType,
+        lidx_src: Option<String>,
+        ridx_src: Option<String>,
+    ) -> Result<BVal> {
+        let keys = JoinKeys::resolve(lrel, rrel, on)?;
+        let lorder = lidx_src
+            .as_ref()
+            .and_then(|t| self.catalog.index_on(t, &keys.left))
+            .map(|i| i.order());
+        let rorder = ridx_src
+            .as_ref()
+            .and_then(|t| self.catalog.index_on(t, &keys.right))
+            .map(|i| i.order());
+        Ok(BVal::Rows(ops::join_par(
+            lrel,
+            rrel,
+            &keys,
+            residual.as_ref(),
+            kind,
+            self.profile.join,
+            JoinOrders {
+                left: lorder,
+                right: rorder,
+            },
+            self.par(),
+            &mut self.stats,
+        )?))
+    }
+
     /// The table whose stored index could serve this child, if any.
     fn index_source<'s>(
         &self,
@@ -432,6 +677,38 @@ impl<'a> Evaluator<'a> {
         match child {
             Plan::Scan { table, .. } => Some(table.clone()),
             _ => None,
+        }
+    }
+}
+
+/// A value flowing between operators in batch mode: columnar when the
+/// producing operator has a batch kernel, row-materialized when it
+/// bridged. The transpose is exact in both directions, so mixing the two
+/// shapes inside one plan cannot change results.
+enum BVal {
+    Rows(Relation),
+    Cols(Batch),
+}
+
+impl BVal {
+    fn len(&self) -> usize {
+        match self {
+            BVal::Rows(r) => r.len(),
+            BVal::Cols(b) => b.len(),
+        }
+    }
+
+    fn into_batch(self) -> Batch {
+        match self {
+            BVal::Rows(r) => Batch::from_relation(&r),
+            BVal::Cols(b) => b,
+        }
+    }
+
+    fn into_relation(self) -> Relation {
+        match self {
+            BVal::Rows(r) => r,
+            BVal::Cols(b) => b.to_relation(),
         }
     }
 }
@@ -631,6 +908,43 @@ mod tests {
         };
         let (rel, _) = execute(&diff, &c, &oracle_like()).unwrap();
         assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn batch_mode_matches_row_mode() {
+        let c = catalog();
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Select {
+                input: Box::new(Plan::Join {
+                    left: Box::new(Plan::scan_as("E", "E1")),
+                    right: Box::new(Plan::scan_as("E", "E2")),
+                    on: vec![("E1.T".into(), "E2.F".into())],
+                    residual: None,
+                    kind: JoinType::Inner,
+                }),
+                pred: ScalarExpr::binary(
+                    crate::expr::BinOp::Gt,
+                    ScalarExpr::col("E1.ew"),
+                    ScalarExpr::lit(0.0),
+                ),
+            }),
+            group_by: vec!["E1.F".into()],
+            items: vec![
+                (ScalarExpr::col("E1.F"), "F".into()),
+                (
+                    ScalarExpr::Agg(
+                        crate::agg::AggFunc::Sum,
+                        Box::new(ScalarExpr::col("E2.ew")),
+                    ),
+                    "s".into(),
+                ),
+            ],
+        };
+        let (row, _) = execute(&plan, &c, &oracle_like()).unwrap();
+        let batch_profile = oracle_like().with_exec(crate::profile::ExecMode::Batch);
+        let (batch, _) = execute(&plan, &c, &batch_profile).unwrap();
+        assert_eq!(row.rows(), batch.rows(), "batch engine is row-identical");
+        assert_eq!(row.schema().arity(), batch.schema().arity());
     }
 
     #[test]

@@ -66,6 +66,36 @@ impl Optimizer {
     }
 }
 
+/// Execution representation (ISSUE 6).
+///
+/// `Row` is the paper-faithful row-at-a-time pipeline; `Batch` runs the
+/// same plans over typed SoA [`aio_storage::Batch`] columns, bridging back
+/// to `Value` rows at operator boundaries the columnar engine doesn't
+/// cover and at the with+/SQL'99 boundary. Outputs are row-for-row
+/// identical in either mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    Row,
+    Batch,
+}
+
+impl ExecMode {
+    /// Short lowercase label for executor names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Row => "row",
+            ExecMode::Batch => "batch",
+        }
+    }
+}
+
+/// Default batch size (rows per processed chunk) for [`ExecMode::Batch`]:
+/// 4096 rows keeps a handful of 8-byte columns inside L1/L2 while
+/// amortizing per-batch overhead, and matches the morsel threshold
+/// ([`crate::par::MIN_PARALLEL_ROWS`]) so batch ranges compose with the
+/// morsel runner. Tunable via [`EngineProfile::with_batch_size`].
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
 /// One emulated RDBMS.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineProfile {
@@ -96,6 +126,12 @@ pub struct EngineProfile {
     /// Plan-optimization level. `Off` (every paper profile) keeps the
     /// fixed Algorithm 1 plans; `Rules`/`Cost` enable rewrites.
     pub optimizer: Optimizer,
+    /// Execution representation: row-at-a-time (paper-faithful default)
+    /// or typed columnar batches.
+    pub exec: ExecMode,
+    /// Rows per chunk when `exec` is [`ExecMode::Batch`]; ignored in row
+    /// mode. See [`DEFAULT_BATCH_SIZE`] for tuning notes.
+    pub batch_size: usize,
 }
 
 impl EngineProfile {
@@ -114,6 +150,18 @@ impl EngineProfile {
     /// Builder-style override of the plan-optimization level.
     pub fn with_optimizer(mut self, optimizer: Optimizer) -> Self {
         self.optimizer = optimizer;
+        self
+    }
+
+    /// Builder-style override of the execution representation.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Builder-style override of the columnar batch size (clamped to ≥ 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 
@@ -136,6 +184,8 @@ pub fn oracle_like() -> EngineProfile {
         parallelism: 1,
         capture_snapshots: false,
         optimizer: Optimizer::Off,
+        exec: ExecMode::Row,
+        batch_size: DEFAULT_BATCH_SIZE,
     }
 }
 
@@ -152,6 +202,8 @@ pub fn db2_like() -> EngineProfile {
         parallelism: 1,
         capture_snapshots: false,
         optimizer: Optimizer::Off,
+        exec: ExecMode::Row,
+        batch_size: DEFAULT_BATCH_SIZE,
     }
 }
 
@@ -173,6 +225,8 @@ pub fn postgres_like(with_indexes: bool) -> EngineProfile {
         parallelism: 1,
         capture_snapshots: false,
         optimizer: Optimizer::Off,
+        exec: ExecMode::Row,
+        batch_size: DEFAULT_BATCH_SIZE,
     }
 }
 

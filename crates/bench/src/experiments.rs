@@ -839,6 +839,141 @@ pub fn optimizer(scale: f64) -> String {
     )
 }
 
+/// `repro columnar` — row-at-a-time vs columnar batch execution A/B on
+/// three hot paths over a ~1M-edge power-law graph, written to
+/// `BENCH_columnar.json`:
+///
+/// 1. **join**: E ⋈ V on `E.T = V.ID` (typed hash build/probe on `i64`
+///    column slices vs `Key`-boxed rows);
+/// 2. **group-by**: Σ/count over E grouped by `E.F` (tight `&[i64]`/
+///    `&[f64]` accumulation vs per-row `Value` dispatch);
+/// 3. **pagerank**: five with+ PSM iterations end-to-end.
+///
+/// Both modes must return identical results (asserted); the acceptance
+/// gate is a ≥ 2× single-core speedup on at least one of the three.
+/// `--scale` is relative to 1M edges and defaults to 1.0.
+pub fn columnar(scale: f64) -> String {
+    use aio_algebra::{execute, ExecMode};
+
+    let edges = ((1.0e6 * scale) as usize).max(10_000);
+    let nodes = (edges / 10).max(100);
+    let g = aio_graph::generate(aio_graph::GraphKind::PowerLaw, nodes, edges, true, 53);
+    let mut catalog = aio_storage::Catalog::new();
+    catalog
+        .create_table("E", aio_graph::load::edge_relation(&g))
+        .expect("create E");
+    catalog
+        .create_table("V", aio_graph::load::node_relation(&g))
+        .expect("create V");
+
+    let join_plan = Plan::Join {
+        left: Box::new(Plan::scan("E")),
+        right: Box::new(Plan::scan("V")),
+        on: vec![("E.T".into(), "V.ID".into())],
+        residual: None,
+        kind: JoinType::Inner,
+    };
+    let groupby_plan = Plan::Aggregate {
+        input: Box::new(Plan::scan("E")),
+        group_by: vec!["E.F".into()],
+        items: vec![
+            (ScalarExpr::col("E.F"), "F".into()),
+            (
+                ScalarExpr::Agg(AggFunc::Sum, Box::new(ScalarExpr::col("E.ew"))),
+                "s".into(),
+            ),
+            (
+                ScalarExpr::Agg(AggFunc::Count, Box::new(ScalarExpr::col("E.T"))),
+                "c".into(),
+            ),
+        ],
+    };
+
+    let reps = 3usize;
+    let modes = [ExecMode::Row, ExecMode::Batch];
+    // best-of timings: [workload][mode]
+    let mut best = [[f64::INFINITY; 2]; 3];
+    let mut out_rows = [[0usize; 2]; 2];
+    for (w, plan) in [&join_plan, &groupby_plan].into_iter().enumerate() {
+        for (m, &mode) in modes.iter().enumerate() {
+            let profile = oracle_like().with_exec(mode);
+            for rep in 0..=reps {
+                let t0 = Instant::now();
+                let (rel, _) = execute(plan, &catalog, &profile).expect("columnar A/B run");
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                if rep > 0 {
+                    // rep 0 is an untimed warm-up
+                    best[w][m] = best[w][m].min(ms);
+                }
+                out_rows[w][m] = rel.len();
+            }
+        }
+        assert_eq!(
+            out_rows[w][0], out_rows[w][1],
+            "batch mode changed workload {w}'s result"
+        );
+    }
+
+    let pr_iters = 5usize;
+    let mut pr_sums = [0.0f64; 2];
+    for (m, &mode) in modes.iter().enumerate() {
+        let profile = oracle_like().with_exec(mode);
+        for rep in 0..=reps {
+            let t0 = Instant::now();
+            let (ranks, _) =
+                algos::pagerank::run(&g, &profile, 0.85, pr_iters).expect("pagerank A/B run");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            if rep > 0 {
+                best[2][m] = best[2][m].min(ms);
+            }
+            pr_sums[m] = ranks.values().sum();
+        }
+    }
+    assert!(
+        (pr_sums[0] - pr_sums[1]).abs() <= 1e-9 * pr_sums[0].abs().max(1.0),
+        "batch mode changed PageRank: {} vs {}",
+        pr_sums[0],
+        pr_sums[1]
+    );
+
+    let names = ["join", "group-by", "pagerank"];
+    let speedups: Vec<f64> = (0..3).map(|w| best[w][0] / best[w][1]).collect();
+    let max_speedup = speedups.iter().cloned().fold(0.0f64, f64::max);
+    let verdict = if max_speedup >= 2.0 { "PASS" } else { "FAIL" };
+
+    let json = format!(
+        "{{\n  \"experiment\": \"columnar\",\n  \"edges\": {edges},\n  \"nodes\": {nodes},\n  \
+         \"reps\": {reps},\n  \"pr_iters\": {pr_iters},\n  \
+         \"join_rows\": {},\n  \"groupby_rows\": {},\n  \
+         \"join_row_ms\": {:.3},\n  \"join_batch_ms\": {:.3},\n  \"join_speedup\": {:.3},\n  \
+         \"groupby_row_ms\": {:.3},\n  \"groupby_batch_ms\": {:.3},\n  \
+         \"groupby_speedup\": {:.3},\n  \
+         \"pagerank_row_ms\": {:.3},\n  \"pagerank_batch_ms\": {:.3},\n  \
+         \"pagerank_speedup\": {:.3},\n  \
+         \"max_speedup\": {max_speedup:.3},\n  \"verdict\": \"{verdict}\"\n}}\n",
+        out_rows[0][0], out_rows[1][0], best[0][0], best[0][1], speedups[0], best[1][0],
+        best[1][1], speedups[1], best[2][0], best[2][1], speedups[2],
+    );
+    let json_note = match std::fs::write("BENCH_columnar.json", &json) {
+        Ok(()) => "results written to BENCH_columnar.json".to_string(),
+        Err(err) => format!("could not write BENCH_columnar.json: {err}"),
+    };
+
+    let mut lines = String::new();
+    for w in 0..3 {
+        lines.push_str(&format!(
+            "{:<9}: row {:>9.1} ms  batch {:>9.1} ms  speedup {:>5.2}x\n",
+            names[w], best[w][0], best[w][1], speedups[w]
+        ));
+    }
+    format!(
+        "Columnar A/B — E({edges}) ⋈ V({nodes}), Σ by E.F, PageRank×{pr_iters}, best of {reps}\n\n\
+         {lines}\n\
+         identical results in both modes; max speedup {max_speedup:.2}x vs the ≥2x bar: \
+         {verdict}. {json_note}\n"
+    )
+}
+
 /// `repro durability` — the cost of the durable catalog (ISSUE 6
 /// tentpole), measured two ways and written to `BENCH_durability.json`:
 ///
@@ -1054,6 +1189,22 @@ mod tests {
         );
         // tiny-scale artifact; the committed one comes from `repro optimizer`
         let _ = std::fs::remove_file("BENCH_optimizer.json");
+    }
+
+    #[test]
+    fn columnar_ab_runs_at_tiny_scale() {
+        // 10k-edge floor; asserts inside `columnar` already check that
+        // both modes return identical results (the ≥2x gate is only
+        // meaningful at full scale, so don't assert PASS here)
+        let out = columnar(0.0);
+        assert!(out.contains("group-by"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
+        assert!(
+            std::fs::metadata("BENCH_columnar.json").map(|m| m.len() > 0).unwrap_or(false),
+            "BENCH_columnar.json missing or empty"
+        );
+        // tiny-scale artifact; the committed one comes from `repro columnar`
+        let _ = std::fs::remove_file("BENCH_columnar.json");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! node vector and adjacency matrix.
 
 pub mod catalog;
+pub mod column;
 pub mod error;
 pub mod hash;
 pub mod index;
@@ -26,6 +27,7 @@ pub mod vfs;
 pub mod wal;
 
 pub use catalog::{Catalog, CheckpointStats, TableEntry};
+pub use column::{Batch, ColumnBuilder, ColumnVec, NullMask, StringTable, GATHER_NULL};
 pub use error::{Result, StorageError};
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedIndex};

@@ -294,39 +294,21 @@ impl RelationStats {
 }
 
 impl Relation {
-    /// Collect [`RelationStats`] with a single scan: per-column distinct
-    /// counts via a hash set plus running min/max under the total `Ord` on
-    /// [`Value`] (NULLs counted separately, excluded from NDV and bounds).
+    /// Collect [`RelationStats`] column-at-a-time: each column is lifted
+    /// into its typed [`crate::column::ColumnVec`] layout and sketched over
+    /// dense `i64`/`f64` vectors (NDV via primitive hash sets, min/max over
+    /// machine types) instead of hashing `Value` enums per cell.
+    /// Heterogeneous columns fall back to the generic `Value` path; the
+    /// resulting sketches are identical either way — NULLs counted
+    /// separately, excluded from NDV and bounds, ordering per the total
+    /// `Ord` on [`Value`].
     pub fn collect_stats(&self) -> RelationStats {
         let arity = self.schema.arity();
-        let mut seen: Vec<crate::hash::FxHashSet<&Value>> =
-            (0..arity).map(|_| Default::default()).collect();
-        let mut columns: Vec<ColumnSketch> = (0..arity)
-            .map(|_| ColumnSketch {
-                ndv: 0,
-                min: None,
-                max: None,
-                nulls: 0,
-            })
-            .collect();
-        for row in &self.rows {
-            for (i, v) in row.iter().enumerate() {
-                if v.is_null() {
-                    columns[i].nulls += 1;
-                    continue;
-                }
-                seen[i].insert(v);
-                let c = &mut columns[i];
-                if c.min.as_ref().is_none_or(|m| v < m) {
-                    c.min = Some(v.clone());
-                }
-                if c.max.as_ref().is_none_or(|m| v > m) {
-                    c.max = Some(v.clone());
-                }
-            }
-        }
-        for (c, s) in columns.iter_mut().zip(&seen) {
-            c.ndv = s.len();
+        let mut columns = Vec::with_capacity(arity);
+        for i in 0..arity {
+            let col =
+                crate::column::ColumnVec::from_values(self.rows.iter().map(|r| &r[i]));
+            columns.push(col.sketch());
         }
         RelationStats {
             rows: self.rows.len(),

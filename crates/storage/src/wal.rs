@@ -353,6 +353,11 @@ pub(crate) mod codec {
             self.pos == self.b.len()
         }
 
+        /// Bytes not yet consumed (sanity bounds for count fields).
+        pub fn remaining(&self) -> usize {
+            self.b.len() - self.pos
+        }
+
         pub fn take(&mut self, n: usize) -> std::result::Result<&'a [u8], String> {
             if self.b.len() - self.pos < n {
                 return Err(format!(

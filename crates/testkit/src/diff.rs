@@ -8,9 +8,9 @@
 //! state differs, via the profile's snapshot knob.
 
 use crate::corpus::{augment_spanning_cycle, NamedGraph};
-use crate::exec::{executors_for_opt, run_algo, ExecKind, Executor, Params};
+use crate::exec::{executors_for_cfg, run_algo, ExecKind, Executor, Params};
 use crate::result::AlgoResult;
-use aio_algebra::{EngineProfile, Optimizer};
+use aio_algebra::{EngineProfile, ExecMode, Optimizer};
 use aio_algos::{by_key, Tolerance, TABLE2};
 use aio_graph::{reference, Graph};
 use aio_withplus::QueryResult;
@@ -25,6 +25,11 @@ pub struct MatrixConfig {
     /// Plan-optimization levels to sweep the with+ PSM over. The default
     /// `[Off]` keeps the paper-faithful fixed plans only.
     pub optimizers: Vec<Optimizer>,
+    /// Physical execution modes to sweep the with+ PSM over. The default
+    /// `[Row]` keeps row-at-a-time operators only; adding
+    /// [`ExecMode::Batch`] pits the columnar engine against every other
+    /// executor under exact row equivalence.
+    pub exec_modes: Vec<ExecMode>,
     pub params: Params,
     /// Localize with+-vs-with+ divergences to their first iteration.
     pub localize: bool,
@@ -36,6 +41,7 @@ impl Default for MatrixConfig {
             algos: TABLE2.iter().filter(|a| a.implemented).map(|a| a.key).collect(),
             parallelism: vec![1, 2, 8],
             optimizers: vec![Optimizer::Off],
+            exec_modes: vec![ExecMode::Row],
             params: Params::default(),
             localize: true,
         }
@@ -71,6 +77,18 @@ impl MatrixConfig {
             algos: vec!["wcc", "sssp", "pr", "tc"],
             parallelism: vec![1, 8],
             optimizers: Optimizer::all().to_vec(),
+            ..MatrixConfig::default()
+        }
+    }
+
+    /// The columnar smoke matrix: the natives' algorithms under exec mode
+    /// ∈ {Row, Batch} × parallelism {1, 2}, so the batch engine is checked
+    /// against the row engine, the natives, SQL'99 and the oracle at once.
+    pub fn columnar_smoke() -> Self {
+        MatrixConfig {
+            algos: vec!["wcc", "sssp", "pr", "tc"],
+            parallelism: vec![1, 2],
+            exec_modes: vec![ExecMode::Row, ExecMode::Batch],
             ..MatrixConfig::default()
         }
     }
@@ -260,7 +278,8 @@ pub fn run_matrix(corpus: &[NamedGraph], cfg: &MatrixConfig) -> MatrixReport {
             } else {
                 named.graph.clone()
             };
-            let execs = executors_for_opt(key, &cfg.parallelism, &cfg.optimizers);
+            let execs =
+                executors_for_cfg(key, &cfg.parallelism, &cfg.optimizers, &cfg.exec_modes);
             let mut results: Vec<(Executor, AlgoResult)> = Vec::new();
             for ex in execs {
                 report.runs += 1;

@@ -14,7 +14,7 @@
 //! trajectories coincide at that offset.
 
 use crate::result::AlgoResult;
-use aio_algebra::{db2_like, oracle_like, postgres_like, EngineProfile, Optimizer};
+use aio_algebra::{db2_like, oracle_like, postgres_like, EngineProfile, ExecMode, Optimizer};
 use aio_algos::{by_key, Engine, Tolerance};
 use aio_graph::engines::{Bsp, DatalogEngine, VertexCentric};
 use aio_graph::{reference, Graph};
@@ -107,6 +107,19 @@ pub fn executors_for_opt(
     parallelism: &[usize],
     optimizers: &[Optimizer],
 ) -> Vec<Executor> {
+    executors_for_cfg(key, parallelism, optimizers, &[ExecMode::Row])
+}
+
+/// [`executors_for_opt`] additionally sweeping the with+ PSM over physical
+/// execution modes (row-at-a-time vs columnar batches). Batch execution is
+/// row-identical by contract but still forks its own family (` exec=batch`
+/// suffix) so a divergence report names the engine that misbehaved.
+pub fn executors_for_cfg(
+    key: &str,
+    parallelism: &[usize],
+    optimizers: &[Optimizer],
+    exec_modes: &[ExecMode],
+) -> Vec<Executor> {
     let spec = match by_key(key) {
         Some(s) => s,
         None => return Vec::new(),
@@ -118,18 +131,26 @@ pub fn executors_for_opt(
             Engine::WithPlus => {
                 for profile in withplus_profiles() {
                     for &opt in optimizers {
-                        for &p in parallelism {
-                            let prof =
-                                profile.clone().with_parallelism(p).with_optimizer(opt);
-                            let suffix = match opt {
-                                Optimizer::Off => String::new(),
-                                o => format!(" opt={}", o.label()),
-                            };
-                            out.push(Executor {
-                                name: format!("with+/{} p{p}{suffix}", prof.name),
-                                family: format!("with+/{}{suffix}", prof.name),
-                                kind: ExecKind::WithPlus(prof),
-                            });
+                        for &exec in exec_modes {
+                            for &p in parallelism {
+                                let prof = profile
+                                    .clone()
+                                    .with_parallelism(p)
+                                    .with_optimizer(opt)
+                                    .with_exec(exec);
+                                let mut suffix = match opt {
+                                    Optimizer::Off => String::new(),
+                                    o => format!(" opt={}", o.label()),
+                                };
+                                if exec != ExecMode::Row {
+                                    suffix.push_str(&format!(" exec={}", exec.label()));
+                                }
+                                out.push(Executor {
+                                    name: format!("with+/{} p{p}{suffix}", prof.name),
+                                    family: format!("with+/{}{suffix}", prof.name),
+                                    kind: ExecKind::WithPlus(prof),
+                                });
+                            }
                         }
                     }
                 }
@@ -496,6 +517,27 @@ mod tests {
                 assert!(e.family.contains(" opt="), "{e:?}");
             } else {
                 assert!(!e.family.contains(" opt="), "{e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exec_mode_sweep_forks_batch_family() {
+        let pr = executors_for_cfg(
+            "pr",
+            &[1],
+            &[Optimizer::Off],
+            &[ExecMode::Row, ExecMode::Batch],
+        );
+        // 3 profiles × 2 exec modes + sql99/postgres + 3 natives + oracle
+        assert_eq!(pr.len(), 3 * 2 + 1 + 3 + 1, "{pr:#?}");
+        assert!(pr.iter().any(|e| e.name == "with+/oracle_like p1 exec=batch"));
+        assert!(pr.iter().any(|e| e.name == "with+/oracle_like p1"));
+        for e in &pr {
+            if e.name.contains(" exec=batch") {
+                assert!(e.family.ends_with(" exec=batch"), "{e:?}");
+            } else {
+                assert!(!e.family.contains("exec="), "{e:?}");
             }
         }
     }

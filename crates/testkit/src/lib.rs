@@ -32,7 +32,9 @@ pub mod shrink;
 
 pub use corpus::{corpus_graphs, NamedGraph};
 pub use diff::{run_matrix, Divergence, MatrixConfig, MatrixReport};
-pub use exec::{executors_for, executors_for_opt, run_algo, ExecKind, Executor, Params};
+pub use exec::{
+    executors_for, executors_for_cfg, executors_for_opt, run_algo, ExecKind, Executor, Params,
+};
 pub use meta::{check_metamorphic, MetaRelation, META_ALGOS};
 pub use result::AlgoResult;
 pub use shrink::{shrink, CaseGraph, Replay};

@@ -223,6 +223,13 @@ impl Database {
         self.profile.optimizer = level;
     }
 
+    /// Switch between row-at-a-time and columnar batch execution for every
+    /// plan this database runs (results are row-identical; only the
+    /// physical operator implementations change).
+    pub fn set_exec_mode(&mut self, mode: aio_algebra::ExecMode) {
+        self.profile.exec = mode;
+    }
+
     /// Start recording spans for subsequent executions.
     pub fn enable_tracing(&mut self) {
         self.tracer = Some(Tracer::new());

@@ -109,6 +109,37 @@ fn optimizer_equivalence_full_matrix() {
     println!("optimizer matrix: {}", report.summary());
 }
 
+/// The full columnar-equivalence matrix: every Table 2 algorithm with the
+/// with+ PSM swept over exec mode {Row, Batch} × parallelism {1, 2, 8}
+/// over the whole corpus, zero divergences — the batch engine must be
+/// row-identical to the row engine, the natives, SQL'99 and the oracle
+/// everywhere. Heavyweight — `./ci.sh full` territory (the tier-1 slice
+/// is `columnar_differential_smoke` in tests/columnar_equivalence.rs).
+#[test]
+#[ignore = "full columnar-equivalence matrix: run via ./ci.sh full"]
+fn columnar_equivalence_full_matrix() {
+    use all_in_one::algebra::ExecMode;
+    let corpus = corpus_graphs();
+    let cfg = aio_testkit::MatrixConfig {
+        exec_modes: vec![ExecMode::Row, ExecMode::Batch],
+        ..aio_testkit::MatrixConfig::default()
+    };
+    let report = run_matrix(&corpus, &cfg);
+    assert_clean(&report);
+    assert!(
+        report.algorithms.len() >= 10,
+        "only {} algorithms ran: {:?}",
+        report.algorithms.len(),
+        report.algorithms
+    );
+    assert!(
+        report.engine_families.iter().any(|f| f.ends_with(" exec=batch")),
+        "{:?}",
+        report.engine_families
+    );
+    println!("columnar matrix: {}", report.summary());
+}
+
 /// Metamorphic smoke: one relation per algorithm on one family.
 #[test]
 fn metamorphic_smoke() {
