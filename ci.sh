@@ -77,6 +77,22 @@ grep -q '"experiment": "columnar"' "$col_dir/BENCH_columnar.json"
 grep -q '"verdict"' "$col_dir/BENCH_columnar.json"
 rm -rf "$col_dir"
 
+# wcoj smoke: binary vs worst-case-optimal multiway join A/B at reduced
+# scale with identical results in both engines (asserted inside the
+# binary, which also asserts the cost optimizer picks MultiwayJoin) and a
+# well-formed BENCH_wcoj.json. The pattern differential matrix
+# (tests/wcoj_equivalence.rs) is part of the default `cargo test` above;
+# the ≥5x triangle speedup bar is only meaningful at full scale and is
+# enforced by `./ci.sh full`.
+wcoj_dir="$(mktemp -d)"
+(cd "$wcoj_dir" && "$repro_bin" wcoj --scale 0.02) |
+    tee "$wcoj_dir/wcoj.out"
+grep -q "speedup" "$wcoj_dir/wcoj.out"
+test -s "$wcoj_dir/BENCH_wcoj.json"
+grep -q '"experiment": "wcoj"' "$wcoj_dir/BENCH_wcoj.json"
+grep -q '"verdict"' "$wcoj_dir/BENCH_wcoj.json"
+rm -rf "$wcoj_dir"
+
 if [ "$mode" = full ]; then
     # zero-cost-when-disabled bar: <2% overhead on a ~1M-edge hash join
     # (writes BENCH_trace_overhead.json; the binary prints the verdict).
@@ -96,4 +112,10 @@ if [ "$mode" = full ]; then
     col_out="$(cargo run --release -p aio-bench --bin repro -- columnar)"
     echo "$col_out"
     echo "$col_out" | grep -q "≥2x bar: PASS"
+
+    # wcoj bar at full scale: ≥5x triangle-counting speedup over the
+    # binary-join plan on the 1M-edge power-law graph (BENCH_wcoj.json).
+    wcoj_out="$(cargo run --release -p aio-bench --bin repro -- wcoj)"
+    echo "$wcoj_out"
+    echo "$wcoj_out" | grep -q "≥5x bar: PASS"
 fi

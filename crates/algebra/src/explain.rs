@@ -113,6 +113,12 @@ pub fn describe(plan: &Plan) -> String {
                 .collect::<Vec<_>>()
                 .join(" and ")
         ),
+        Plan::MultiwayJoin {
+            var_names, agm_est, ..
+        } => format!(
+            "MultiwayJoin vars={} agm_est={agm_est}",
+            crate::wcoj::render_vars(var_names)
+        ),
     }
 }
 
@@ -139,6 +145,11 @@ pub fn walk_pre_order<'p>(plan: &'p Plan, f: &mut impl FnMut(u64, &'p Plan)) {
             | Plan::SemiJoin { left, right, .. } => {
                 go(left, seq, f);
                 go(right, seq, f);
+            }
+            Plan::MultiwayJoin { children, .. } => {
+                for c in children {
+                    go(c, seq, f);
+                }
             }
         }
     }
@@ -252,6 +263,13 @@ fn render_node(
                 }
                 out.push_str(&format!(" morsels={}", a.morsels));
             }
+            if matches!(p, Plan::MultiwayJoin { .. }) && timings {
+                out.push_str(&format!(
+                    " build={} probe={}",
+                    fmt_ns(a.build_ns),
+                    fmt_ns(a.probe_ns)
+                ));
+            }
             out.push(')');
         }
         None => out.push_str("  (never executed)"),
@@ -271,6 +289,7 @@ fn render_node(
         | Plan::Difference { left, right }
         | Plan::AntiJoin { left, right, .. }
         | Plan::SemiJoin { left, right, .. } => vec![left, right],
+        Plan::MultiwayJoin { children, .. } => children.iter().collect(),
     };
     let child_prefix = format!("{prefix}{pad}");
     for (i, c) in children.iter().enumerate() {

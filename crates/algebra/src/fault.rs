@@ -12,6 +12,7 @@ use std::cell::Cell;
 
 thread_local! {
     static UBU_OFF_BY_ONE: Cell<bool> = const { Cell::new(false) };
+    static WCOJ_SEEK_OFF_BY_ONE: Cell<bool> = const { Cell::new(false) };
     static HITS: Cell<u64> = const { Cell::new(0) };
 }
 
@@ -28,6 +29,28 @@ pub fn inject_ubu_off_by_one(enabled: bool) {
 /// Whether the fault is currently armed on this thread.
 pub fn ubu_fault_armed() -> bool {
     UBU_OFF_BY_ONE.with(|f| f.get())
+}
+
+/// Arm (or disarm) the leapfrog-seek off-by-one on this thread: a `seek`
+/// that lands exactly on its target advances one key too far — the classic
+/// `lower_bound` miscomputed as `upper_bound`, which silently drops every
+/// exact intersection the multiway join should have produced. Arming resets
+/// the hit counter, like [`inject_ubu_off_by_one`].
+pub fn inject_wcoj_seek_off_by_one(enabled: bool) {
+    WCOJ_SEEK_OFF_BY_ONE.with(|f| f.set(enabled));
+    if enabled {
+        HITS.with(|h| h.set(0));
+    }
+}
+
+/// Whether the leapfrog-seek fault is currently armed on this thread.
+pub fn wcoj_fault_armed() -> bool {
+    WCOJ_SEEK_OFF_BY_ONE.with(|f| f.get())
+}
+
+/// Recorded by the multiway join's seek wrapper when the armed fault fires.
+pub(crate) fn note_wcoj_hit() {
+    HITS.with(|h| h.set(h.get() + 1));
 }
 
 /// How many times the armed fault actually fired since arming.

@@ -27,11 +27,15 @@ pub mod plan;
 pub mod profile;
 pub mod semiring;
 pub mod stats;
+pub mod wcoj;
 
 pub use agg::AggFunc;
 pub use error::{AlgebraError, Result};
 pub use expr::{seed_random, BinOp, Func, ScalarExpr, UnaryOp};
-pub use fault::{fault_hits, inject_ubu_off_by_one, ubu_fault_armed};
+pub use fault::{
+    fault_hits, inject_ubu_off_by_one, inject_wcoj_seek_off_by_one, ubu_fault_armed,
+    wcoj_fault_armed,
+};
 pub use ops::{AntiJoinImpl, JoinKeys, JoinType, MvOrientation, UbuImpl};
 pub use optimize::{optimize_plan, push_selections};
 pub use plan::{execute, execute_traced, Evaluator, Plan};
@@ -41,3 +45,4 @@ pub use profile::{
 };
 pub use semiring::{Semiring, BOOLEAN, COUNTING, MIN_MUL, TROPICAL};
 pub use stats::{estimate_nodes, ExecStats};
+pub use wcoj::{agm_bound, choose_order, is_cyclic, last_wcoj_phases, WcojPhases};

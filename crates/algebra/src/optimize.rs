@@ -57,6 +57,11 @@ fn aliases(plan: &Plan, out: &mut Vec<String>) {
         | Plan::Difference { left, .. } => aliases(left, out),
         // semi/anti expose the left side only
         Plan::AntiJoin { left, .. } | Plan::SemiJoin { left, .. } => aliases(left, out),
+        Plan::MultiwayJoin { children, .. } => {
+            for c in children {
+                aliases(c, out);
+            }
+        }
     }
 }
 
@@ -401,6 +406,21 @@ fn cost_pass(plan: &Plan, catalog: &Catalog, sensitive: bool, needed: Option<&[S
             right: Box::new(cost_pass(right, catalog, false, None)),
             on: on.clone(),
         },
+        // Already worst-case-optimal: recurse into the children only.
+        Plan::MultiwayJoin {
+            children,
+            vars,
+            var_names,
+            agm_est,
+        } => Plan::MultiwayJoin {
+            children: children
+                .iter()
+                .map(|c| cost_pass(c, catalog, sensitive, None))
+                .collect(),
+            vars: vars.clone(),
+            var_names: var_names.clone(),
+            agm_est: *agm_est,
+        },
     }
 }
 
@@ -547,6 +567,13 @@ fn derive_cols(plan: &Plan, catalog: &Catalog) -> Option<Vec<(Option<String>, St
         | Plan::Difference { left, .. }
         | Plan::AntiJoin { left, .. }
         | Plan::SemiJoin { left, .. } => derive_cols(left, catalog),
+        Plan::MultiwayJoin { children, .. } => {
+            let mut all = Vec::new();
+            for c in children {
+                all.extend(derive_cols(c, catalog)?);
+            }
+            Some(all)
+        }
     }
 }
 
@@ -719,6 +746,10 @@ fn try_reorder(
     } else {
         greedy_order(&leaf_plans, &equis, catalog)
     };
+    // Worst-case-optimal check: on a cyclic equality graph, compare the
+    // AGM bound of the whole region against the binary candidate's worst
+    // case and switch to leapfrog triejoin when it wins.
+    let cand = wcoj_candidate(&leaf_plans, &equis, catalog, &cand).unwrap_or(cand);
     let mut out = cand.plan;
     if let Some(pred) = conjoin(residual) {
         out = Plan::Select {
@@ -745,6 +776,158 @@ fn try_reorder(
         }
     }
     Some(out)
+}
+
+/// Consider replacing the binary candidate with a worst-case-optimal
+/// multiway join. Fires only when:
+///
+/// 1. every equi endpoint resolves to a concrete leaf column, and no leaf
+///    binds the same join variable twice (the trie walks one column per
+///    variable);
+/// 2. every leaf participates in at least one join variable (no hidden
+///    cross-product factors);
+/// 3. the hypergraph of per-leaf variable sets is **cyclic** (GYO) — on
+///    acyclic (tree-shaped) regions Yannakakis-style binary plans are
+///    already optimal and the trie build would be pure overhead;
+/// 4. the AGM bound of the whole region is strictly below the binary
+///    candidate's *worst case* — the summed AGM bounds of its left-deep
+///    prefixes. (Comparing against the independence-assumption `C_out`
+///    would never fire: on cyclic patterns that estimate is far below
+///    both bounds. The WCOJ argument is precisely about worst cases.)
+///
+/// The emitted node keeps the children in original leaf order, so its
+/// output column order equals the un-reordered region's and no restoring
+/// projection is needed.
+fn wcoj_candidate(
+    leaf_plans: &[Plan],
+    equis: &[Equi],
+    catalog: &Catalog,
+    binary: &Cand,
+) -> Option<Cand> {
+    let n = leaf_plans.len();
+    if equis.is_empty() || n < 3 {
+        return None;
+    }
+    let ests: Vec<crate::stats::NodeEst> =
+        leaf_plans.iter().map(|p| estimate(p, catalog)).collect();
+
+    // Union-find over the (leaf, column) endpoints of the equality graph.
+    let mut nodes: Vec<(usize, usize)> = Vec::new();
+    let node_id = |nodes: &mut Vec<(usize, usize)>, leaf: usize, col: usize| -> usize {
+        match nodes.iter().position(|&x| x == (leaf, col)) {
+            Some(i) => i,
+            None => {
+                nodes.push((leaf, col));
+                nodes.len() - 1
+            }
+        }
+    };
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for e in equis {
+        let cl = ests[e.ll].schema.index_of(&e.l).ok()?;
+        let cr = ests[e.rl].schema.index_of(&e.r).ok()?;
+        let a = node_id(&mut nodes, e.ll, cl);
+        let b = node_id(&mut nodes, e.rl, cr);
+        edges.push((a, b));
+    }
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for (a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+    // Dense variable ids in first-seen (deterministic) order.
+    let mut var_of_root: Vec<(usize, usize)> = Vec::new(); // (root, var)
+    let mut var_of_node: Vec<usize> = Vec::with_capacity(nodes.len());
+    for i in 0..nodes.len() {
+        let r = find(&mut parent, i);
+        let v = match var_of_root.iter().find(|(rt, _)| *rt == r) {
+            Some((_, v)) => *v,
+            None => {
+                let v = var_of_root.len();
+                var_of_root.push((r, v));
+                v
+            }
+        };
+        var_of_node.push(v);
+    }
+    let n_vars = var_of_root.len();
+
+    // Per-leaf variable sets; a leaf binding one variable through two
+    // columns, or binding none, disqualifies the region.
+    let mut atom_vars: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &(leaf, _)) in nodes.iter().enumerate() {
+        let v = var_of_node[i];
+        if atom_vars[leaf].contains(&v) {
+            return None;
+        }
+        atom_vars[leaf].push(v);
+    }
+    if atom_vars.iter().any(|a| a.is_empty()) {
+        return None;
+    }
+    if !crate::wcoj::is_cyclic(&atom_vars) {
+        return None;
+    }
+
+    // AGM bound of the whole region vs. the binary plan's worst case.
+    let atoms: Vec<(f64, Vec<usize>)> = (0..n)
+        .map(|i| (ests[i].rows.max(1.0), atom_vars[i].clone()))
+        .collect();
+    let agm = crate::wcoj::agm_bound(&atoms);
+    let mut binary_worst = 0.0;
+    for k in 2..=binary.leaf_seq.len() {
+        let prefix: Vec<(f64, Vec<usize>)> = binary.leaf_seq[..k]
+            .iter()
+            .map(|&i| atoms[i].clone())
+            .collect();
+        binary_worst += crate::wcoj::agm_bound(&prefix);
+    }
+    if agm >= binary_worst {
+        return None;
+    }
+
+    // Build the node: elimination order over the variables, then per-leaf
+    // column → elimination-position maps.
+    let order = crate::wcoj::choose_order(n_vars, &atom_vars);
+    let mut pos_of_var = vec![0usize; n_vars];
+    for (pos, &v) in order.iter().enumerate() {
+        pos_of_var[v] = pos;
+    }
+    let mut vars: Vec<Vec<Option<usize>>> =
+        ests.iter().map(|e| vec![None; e.schema.arity()]).collect();
+    for (i, &(leaf, col)) in nodes.iter().enumerate() {
+        vars[leaf][col] = Some(pos_of_var[var_of_node[i]]);
+    }
+    // Name each variable after the first column reference bound to it.
+    let mut var_names = vec![String::new(); n_vars];
+    for (leaf, lv) in vars.iter().enumerate() {
+        for (col, p) in lv.iter().enumerate() {
+            if let Some(p) = p {
+                if var_names[*p].is_empty() {
+                    var_names[*p] = ests[leaf].schema.columns()[col].full_name();
+                }
+            }
+        }
+    }
+    Some(Cand {
+        plan: Plan::MultiwayJoin {
+            children: leaf_plans.to_vec(),
+            vars,
+            var_names,
+            agm_est: agm.min(u64::MAX as f64) as u64,
+        },
+        cost: agm,
+        leaf_seq: (0..n).collect(),
+    })
 }
 
 /// Drop Scan columns no reference in `refs` can match, behind a qualified
@@ -1124,6 +1307,9 @@ mod tests {
             | Plan::AntiJoin { left, right, .. }
             | Plan::SemiJoin { left, right, .. } => {
                 has_project_over_scan(left) || has_project_over_scan(right)
+            }
+            Plan::MultiwayJoin { children, .. } => {
+                children.iter().any(has_project_over_scan)
             }
         }
     }

@@ -73,6 +73,17 @@ pub enum Plan {
         right: Box<Plan>,
         on: Vec<(String, String)>,
     },
+    /// Worst-case-optimal multiway join (leapfrog triejoin) over a cyclic
+    /// join region. `vars[i][j]` is the elimination-order position of the
+    /// join variable bound by column `j` of `children[i]` (`None` = payload
+    /// column); `var_names` names each variable in elimination order;
+    /// `agm_est` is the AGM output bound computed at plan time.
+    MultiwayJoin {
+        children: Vec<Plan>,
+        vars: Vec<Vec<Option<usize>>>,
+        var_names: Vec<String>,
+        agm_est: u64,
+    },
 }
 
 impl Plan {
@@ -110,6 +121,11 @@ impl Plan {
                 left.collect_tables(out);
                 right.collect_tables(out);
             }
+            Plan::MultiwayJoin { children, .. } => {
+                for c in children {
+                    c.collect_tables(out);
+                }
+            }
         }
     }
 
@@ -140,6 +156,9 @@ impl Plan {
             | Plan::SemiJoin { left, right, .. } => {
                 left.references_negated(table) || right.references_negated(table)
             }
+            Plan::MultiwayJoin { children, .. } => {
+                children.iter().any(|c| c.references_negated(table))
+            }
             _ => false,
         }
     }
@@ -167,6 +186,9 @@ impl Plan {
             | Plan::SemiJoin { left, right, .. } => {
                 left.aggregates_over(table) || right.aggregates_over(table)
             }
+            Plan::MultiwayJoin { children, .. } => {
+                children.iter().any(|c| c.aggregates_over(table))
+            }
             _ => false,
         }
     }
@@ -191,6 +213,7 @@ pub fn op_name(plan: &Plan) -> &'static str {
         Plan::Difference { .. } => "difference",
         Plan::AntiJoin { .. } => "anti_join",
         Plan::SemiJoin { .. } => "semi_join",
+        Plan::MultiwayJoin { .. } => "multiway_join",
     }
 }
 
@@ -281,6 +304,12 @@ impl<'a> Evaluator<'a> {
             span.field("morsels", ph.morsels);
             span.field("build_ns", ph.build_ns);
             span.field("probe_ns", ph.probe_ns);
+        }
+        if matches!(plan, Plan::MultiwayJoin { .. }) {
+            let ph = crate::wcoj::last_wcoj_phases();
+            span.field("build_ns", ph.build_ns);
+            span.field("probe_ns", ph.probe_ns);
+            span.field("tries_cached", ph.tries_cached);
         }
         Ok(out)
     }
@@ -420,6 +449,20 @@ impl<'a> Evaluator<'a> {
                 let keys = JoinKeys::resolve(&l, &r, on)?;
                 ops::semi_join_par(&l, &r, &keys, self.par(), &mut self.stats)
             }
+            Plan::MultiwayJoin { children, vars, var_names, .. } => {
+                let mut rels = Vec::with_capacity(children.len());
+                for c in children {
+                    rels.push(self.eval(c)?);
+                }
+                crate::wcoj::multiway_join(
+                    self.catalog,
+                    children,
+                    &rels,
+                    vars,
+                    var_names.len(),
+                    &mut self.stats,
+                )
+            }
         }
     }
 
@@ -457,6 +500,12 @@ impl<'a> Evaluator<'a> {
             span.field("morsels", ph.morsels);
             span.field("build_ns", ph.build_ns);
             span.field("probe_ns", ph.probe_ns);
+        }
+        if matches!(plan, Plan::MultiwayJoin { .. }) {
+            let ph = crate::wcoj::last_wcoj_phases();
+            span.field("build_ns", ph.build_ns);
+            span.field("probe_ns", ph.probe_ns);
+            span.field("tries_cached", ph.tries_cached);
         }
         Ok(out)
     }
@@ -623,6 +672,22 @@ impl<'a> Evaluator<'a> {
                 let r = self.eval_batch(right)?.into_relation();
                 let keys = JoinKeys::resolve(&l, &r, on)?;
                 Ok(BVal::Rows(ops::semi_join_par(&l, &r, &keys, self.par(), &mut self.stats)?))
+            }
+            Plan::MultiwayJoin { children, vars, var_names, .. } => {
+                // the trie probe is inherently row-at-a-time: bridge the
+                // children out of columnar form and return rows
+                let mut rels = Vec::with_capacity(children.len());
+                for c in children {
+                    rels.push(self.eval_batch(c)?.into_relation());
+                }
+                Ok(BVal::Rows(crate::wcoj::multiway_join(
+                    self.catalog,
+                    children,
+                    &rels,
+                    vars,
+                    var_names.len(),
+                    &mut self.stats,
+                )?))
             }
         }
     }

@@ -561,6 +561,28 @@ fn node_est(plan: &Plan, catalog: &Catalog, out: &mut Vec<u64>) -> NodeEst {
             e.cap_ndv();
             e
         }
+        Plan::MultiwayJoin {
+            children, agm_est, ..
+        } => {
+            let mut schema: Option<Schema> = None;
+            let mut cols = Vec::new();
+            for c in children {
+                let e = node_est(c, catalog, out);
+                schema = Some(match schema {
+                    Some(s) => s.join(&e.schema),
+                    None => e.schema.clone(),
+                });
+                cols.extend(e.cols.iter().cloned());
+            }
+            // the AGM bound from planning is the best available estimate
+            let mut e = NodeEst {
+                rows: *agm_est as f64,
+                schema: schema.unwrap_or_else(|| Schema::new(Vec::new())),
+                cols,
+            };
+            e.cap_ndv();
+            e
+        }
     };
     let rows = if est.rows.is_finite() {
         est.rows.max(0.0)

@@ -20,6 +20,10 @@
 //!             join, group-by and PageRank; not part of `all`, emits
 //!             BENCH_columnar.json; --scale is relative to 1M edges and
 //!             defaults to 1.0)
+//!             wcoj (binary join trees vs the worst-case-optimal multiway
+//!             join on triangle + K-truss support over a ~1M-edge
+//!             power-law graph; not part of `all`, emits BENCH_wcoj.json;
+//!             --scale is relative to 1M edges and defaults to 1.0)
 //! explain <algo> : EXPLAIN ANALYZE one algorithm (pagerank | tc | sssp |
 //!             wcc) — prints the annotated plan tree + per-iteration
 //!             convergence and writes TRACE_<algo>.json (Perfetto) and
@@ -93,6 +97,7 @@ fn main() {
             "trace_overhead" => exp::trace_overhead(if scale_given { scale } else { 1.0 }),
             "optimizer" => exp::optimizer(if scale_given { scale } else { 1.0 }),
             "columnar" => exp::columnar(if scale_given { scale } else { 1.0 }),
+            "wcoj" => exp::wcoj(if scale_given { scale } else { 1.0 }),
             "durability" => exp::durability(if scale_given { scale } else { 1.0 }),
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -115,7 +120,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S]\n\
          \x20      repro explain <pagerank|tc|sssp|wcc> [--scale S]\n\
-         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer columnar durability"
+         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer columnar wcoj durability"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -13,6 +13,7 @@ use crate::error::{Result, StorageError};
 use crate::index::SortedIndex;
 use crate::relation::{Relation, RelationStats, Row};
 use crate::snapshot;
+use crate::trie::{TrieCache, TrieIndex};
 use crate::value::Value;
 use crate::wal::{self, CommitKind, Durability, Wal, WalPolicy};
 use std::collections::HashMap;
@@ -25,6 +26,10 @@ pub struct TableEntry {
     pub temp: bool,
     /// Sorted indexes built over this table (Exp-A, Fig. 10).
     pub indexes: Vec<SortedIndex>,
+    /// Trie indexes for worst-case-optimal joins, built lazily per key
+    /// order through `&Catalog` and invalidated on any mutation. Derived
+    /// data: never WAL-logged, rebuilt on demand after recovery.
+    pub tries: TrieCache,
     /// Optimizer statistics. Base tables get them at load time; temp
     /// tables only via an explicit [`Catalog::analyze`] (the paper's
     /// PostgreSQL pain point is exactly their absence). Mutation through
@@ -98,6 +103,7 @@ impl Catalog {
                 rel,
                 temp,
                 indexes: Vec::new(),
+                tries: TrieCache::default(),
                 stats,
             },
         );
@@ -127,6 +133,7 @@ impl Catalog {
                 rel,
                 temp,
                 indexes: Vec::new(),
+                tries: TrieCache::default(),
                 stats,
             },
         );
@@ -220,6 +227,9 @@ impl Catalog {
         }
         let e = self.tables.get_mut(&key).expect("checked above");
         e.stats = None;
+        // The caller may mutate rows in place; cached tries would silently
+        // index the old contents.
+        e.tries.clear();
         Ok(e)
     }
 
@@ -246,6 +256,7 @@ impl Catalog {
         e.stats = None;
         e.rel.truncate();
         e.indexes.clear();
+        e.tries.clear();
         Ok(())
     }
 
@@ -266,6 +277,7 @@ impl Catalog {
         // Inserts invalidate sorted order; a real engine maintains the
         // B-tree incrementally, we rebuild lazily on next use instead.
         e.indexes.clear();
+        e.tries.clear();
         e.rel.extend(rows)
     }
 
@@ -286,6 +298,28 @@ impl Catalog {
         self.tables
             .get(&norm(name))
             .and_then(|e| e.indexes.iter().find(|i| i.covers(cols)))
+    }
+
+    /// The trie for `name[cols]`, building and caching it on a miss. Works
+    /// through `&self` (interior mutability) so plan execution can build
+    /// lazily; any mutation of the table drops the cache.
+    pub fn trie_for(&self, name: &str, cols: &[usize]) -> Result<std::sync::Arc<TrieIndex>> {
+        let e = self.entry(name)?;
+        Ok(e.tries.get_or_build(&e.rel, cols))
+    }
+
+    /// The cached trie covering exactly `cols`, if one was built and has
+    /// not been invalidated since.
+    pub fn trie_on(&self, name: &str, cols: &[usize]) -> Option<std::sync::Arc<TrieIndex>> {
+        self.tables.get(&norm(name)).and_then(|e| e.tries.cached(cols))
+    }
+
+    /// Eagerly build (or rebuild) the trie on `cols` — the warm-up path
+    /// benchmarks use; lazy builds via [`Catalog::trie_for`] are the norm.
+    pub fn build_trie(&mut self, name: &str, cols: &[usize]) -> Result<()> {
+        let e = self.entry_mut_keep_stats(name)?;
+        e.tries.get_or_build(&e.rel, cols);
+        Ok(())
     }
 
     /// All table names (normalized), sorted for determinism.
@@ -536,6 +570,32 @@ mod tests {
         c.truncate("T").unwrap();
         assert!(c.relation("T").unwrap().is_empty());
         assert!(c.index_on("T", &[0]).is_none());
+    }
+
+    #[test]
+    fn insert_and_truncate_invalidate_tries() {
+        let mut c = Catalog::new();
+        c.create_temp("T", Relation::new(edge_schema())).unwrap();
+        c.insert_rows("T", vec![row![1, 2, 1.0], row![2, 3, 1.0]], WalPolicy::None)
+            .unwrap();
+        // lazy build through &Catalog, then a cache hit
+        let t = c.trie_for("T", &[0, 1]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(c.trie_on("T", &[0, 1]).is_some());
+        c.insert_rows("T", vec![row![3, 1, 1.0]], WalPolicy::None).unwrap();
+        assert!(c.trie_on("T", &[0, 1]).is_none(), "insert invalidates tries");
+        assert_eq!(c.trie_for("T", &[0, 1]).unwrap().len(), 3, "rebuilt over new rows");
+        c.truncate("T").unwrap();
+        assert!(c.trie_on("T", &[0, 1]).is_none(), "truncate invalidates tries");
+        // in-place mutation via entry_mut drops the cache too
+        c.insert_rows("T", vec![row![1, 2, 1.0]], WalPolicy::None).unwrap();
+        c.build_trie("T", &[1, 0]).unwrap();
+        assert!(c.trie_on("T", &[1, 0]).is_some());
+        let _ = c.entry_mut("T").unwrap();
+        assert!(c.trie_on("T", &[1, 0]).is_none(), "entry_mut invalidates tries");
+        c.drop_table("T").unwrap();
+        assert!(c.trie_on("T", &[0, 1]).is_none(), "drop removes the table's tries");
+        assert!(c.trie_for("T", &[0, 1]).is_err());
     }
 
     #[test]

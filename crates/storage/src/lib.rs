@@ -22,6 +22,7 @@ pub mod recover;
 pub mod relation;
 pub mod schema;
 pub mod snapshot;
+pub mod trie;
 pub mod value;
 pub mod vfs;
 pub mod wal;
@@ -35,6 +36,7 @@ pub use keyidx::{key_has_null, key_hash, keys_eq, KeyIndex};
 pub use recover::{open_catalog, InterruptedRun, RecoveryReport};
 pub use relation::{edge_schema, node_schema, ColumnSketch, Key, Relation, RelationStats, Row};
 pub use schema::{Column, DataType, Schema};
+pub use trie::{TrieCache, TrieCursor, TrieIndex};
 pub use value::Value;
 pub use vfs::{SimVfs, StdVfs, UnsyncedFate, Vfs};
 pub use wal::{CommitKind, Durability, Wal, WalPolicy, WalRecord};

@@ -20,6 +20,9 @@
 //!   per-iteration divergence localization via PSM state snapshots;
 //! * [`meta`] — metamorphic relations (vertex relabeling, edge-order
 //!   shuffling, isolated-vertex addition);
+//! * [`patterns`] — the cyclic-pattern differential layer pitting the
+//!   worst-case-optimal multiway join against forced binary join trees
+//!   and the optimizer sweep on triangle/4-cycle/diamond/clique queries;
 //! * [`shrink`] — greedy delta-debugging of a failing graph to a minimal
 //!   counterexample, plus bit-reproducible replay files.
 
@@ -27,6 +30,7 @@ pub mod corpus;
 pub mod diff;
 pub mod exec;
 pub mod meta;
+pub mod patterns;
 pub mod result;
 pub mod shrink;
 
@@ -36,5 +40,8 @@ pub use exec::{
     executors_for, executors_for_cfg, executors_for_opt, run_algo, ExecKind, Executor, Params,
 };
 pub use meta::{check_metamorphic, MetaRelation, META_ALGOS};
+pub use patterns::{
+    default_patterns, pattern_corpus, run_pattern_matrix, Pattern, PatternMatrixConfig,
+};
 pub use result::AlgoResult;
 pub use shrink::{shrink, CaseGraph, Replay};

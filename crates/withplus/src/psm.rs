@@ -182,6 +182,17 @@ fn rebind_scan(plan: &Plan, rec: &str, replacement: &str) -> Plan {
             right: rebox(right),
             on: on.clone(),
         },
+        Plan::MultiwayJoin {
+            children,
+            vars,
+            var_names,
+            agm_est,
+        } => Plan::MultiwayJoin {
+            children: children.iter().map(|c| rebind_scan(c, rec, replacement)).collect(),
+            vars: vars.clone(),
+            var_names: var_names.clone(),
+            agm_est: *agm_est,
+        },
     }
 }
 

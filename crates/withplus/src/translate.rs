@@ -97,6 +97,13 @@ impl DatalogGen {
                     .push(Rule::new(head.clone(), vec![l, r.negated()]));
                 head
             }
+            // a multiway join is a conjunction of positive atoms, like Join
+            Plan::MultiwayJoin { children, .. } => {
+                let atoms: Vec<Atom> = children.iter().map(|c| self.emit(c)).collect();
+                let head = Atom::new(self.fresh()).at(Temporal::Succ);
+                self.rules.push(Rule::new(head.clone(), atoms));
+                head
+            }
         }
     }
 

@@ -12,6 +12,7 @@
 //! GOLDEN_WRITE=1 cargo test --test golden_plans
 //! ```
 
+use aio_testkit::Pattern;
 use all_in_one::algebra::{oracle_like, Optimizer};
 use all_in_one::algos::common::{db_for, EdgeStyle};
 use all_in_one::algos::{pagerank, sssp, tc, wcc};
@@ -106,8 +107,20 @@ fn compute_goldens() -> String {
     ));
     out.push_str(&section("sssp", || sssp_db(&g), sssp::SQL));
     out.push_str(&section("wcc", || wcc_db(&g), wcc::SQL));
+    // WCOJ decision goldens (ISSUE 7): the cyclic patterns must switch to
+    // MultiwayJoin at Cost while the selective acyclic path keeps its
+    // binary join tree.
+    let raw = || db_for(&g, &oracle_like(), EdgeStyle::Raw).unwrap();
+    out.push_str(&section("wcoj-triangle", raw, &Pattern::triangle().sql()));
+    out.push_str(&section("wcoj-4clique", raw, &Pattern::clique(4).sql()));
+    out.push_str(&section("acyclic-path", raw, ACYCLIC_PATH_SQL));
     out
 }
+
+/// A selective acyclic 3-leaf chain: cyclicity never holds, so the cost
+/// pass must keep the binary join order no matter the estimates.
+const ACYCLIC_PATH_SQL: &str = "select e0.F as a, e2.T as d from E e0, E e1, E e2 \
+     where e0.T = e1.F and e1.T = e2.F";
 
 #[test]
 fn explain_plans_match_committed_goldens() {
@@ -143,6 +156,30 @@ fn explain_plans_match_committed_goldens() {
 #[test]
 fn plan_goldens_are_deterministic() {
     assert_eq!(compute_goldens(), compute_goldens());
+}
+
+/// The WCOJ decision rule, pinned independently of the golden text: Cost
+/// rewrites the cyclic patterns into a `MultiwayJoin` (with its `vars=` /
+/// `agm_est=` annotations) but never touches the acyclic chain, and
+/// `Off` never emits the operator at all.
+#[test]
+fn cost_chooses_wcoj_for_cyclic_patterns_only() {
+    let g = golden_graph();
+    let explain = |sql: &str, level: Optimizer| {
+        let mut db = db_for(&g, &oracle_like(), EdgeStyle::Raw).unwrap();
+        db.set_optimizer(level);
+        db.explain_analyze_opts(sql, false).unwrap().report
+    };
+    for pat in [Pattern::triangle(), Pattern::clique(4)] {
+        let cost = explain(&pat.sql(), Optimizer::Cost);
+        assert!(cost.contains("MultiwayJoin"), "{}: {cost}", pat.name);
+        assert!(cost.contains("agm_est="), "{}: {cost}", pat.name);
+        assert!(cost.contains("vars="), "{}: {cost}", pat.name);
+        let off = explain(&pat.sql(), Optimizer::Off);
+        assert!(!off.contains("MultiwayJoin"), "{}: {off}", pat.name);
+    }
+    let acyclic = explain(ACYCLIC_PATH_SQL, Optimizer::Cost);
+    assert!(!acyclic.contains("MultiwayJoin"), "{acyclic}");
 }
 
 /// The cost-annotated report must actually carry est/actual pairs: every

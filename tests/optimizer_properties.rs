@@ -7,9 +7,16 @@
 //! regression that `optimizer=Rules` actually pushes selections below joins
 //! in with+ / SQL'99 compilation (the pass existed but was dead code before
 //! the optimizer knob wired it in).
+//!
+//! ISSUE 7 adds the WCOJ decision properties: the AGM bound is *exact* on
+//! complete (grid) inputs — where the triangle/clique joins actually attain
+//! it — and the GYO cyclicity detector never fires on tree-shaped join
+//! graphs, so acyclic queries keep their binary plans at every level.
 
+use aio_testkit::Pattern;
 use all_in_one::algebra::{
-    estimate_nodes, execute, optimize_plan, BinOp, JoinType, Optimizer, Plan, ScalarExpr,
+    agm_bound, estimate_nodes, execute, is_cyclic, optimize_plan, BinOp, JoinType, Optimizer,
+    Plan, ScalarExpr,
 };
 use all_in_one::prelude::*;
 use all_in_one::storage::Catalog;
@@ -119,6 +126,28 @@ fn catalog(e: Relation, vws: &[f64]) -> Catalog {
     c
 }
 
+/// Does the plan contain a `MultiwayJoin` node anywhere?
+fn contains_multiway(p: &Plan) -> bool {
+    match p {
+        Plan::MultiwayJoin { .. } => true,
+        Plan::Select { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Window { input, .. }
+        | Plan::Distinct(input) => contains_multiway(input),
+        Plan::Join { left, right, .. }
+        | Plan::Product { left, right }
+        | Plan::UnionAll { left, right }
+        | Plan::Union { left, right }
+        | Plan::Difference { left, right }
+        | Plan::AntiJoin { left, right, .. }
+        | Plan::SemiJoin { left, right, .. } => {
+            contains_multiway(left) || contains_multiway(right)
+        }
+        Plan::Scan { .. } | Plan::Values(_) => false,
+    }
+}
+
 fn col_names(r: &Relation) -> Vec<(Option<String>, String)> {
     r.schema()
         .columns()
@@ -210,6 +239,88 @@ proptest! {
         };
         let est = estimate_nodes(&plan, &c);
         prop_assert_eq!(est[0], m as u64, "n={n} m={m}");
+    }
+
+    /// Every query the [`query`] strategy can describe has a tree-shaped
+    /// join graph (each leaf attaches to exactly one earlier leaf), so the
+    /// GYO detector must never let the cost pass emit a `MultiwayJoin`.
+    #[test]
+    fn cost_never_emits_wcoj_for_tree_shaped_join_graphs(
+        e in matrix(6),
+        vws in proptest::collection::vec(0.0f64..4.0, 7..8),
+        spec in query(),
+    ) {
+        let c = catalog(e, &vws);
+        let plan = build_plan(&spec);
+        let opt = optimize_plan(&plan, &c, Optimizer::Cost);
+        prop_assert!(
+            !contains_multiway(&opt),
+            "tree-shaped {spec:?} produced a MultiwayJoin"
+        );
+    }
+
+    /// The detector itself, on random trees of binary atoms: atom `i+1`
+    /// shares one fresh variable with a random earlier atom and keeps one
+    /// private variable — a GYO ear at every step, never cyclic.
+    #[test]
+    fn gyo_is_acyclic_on_random_atom_trees(
+        parents in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let n = parents.len() + 1;
+        let mut atom_vars: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut next_var = 0usize;
+        for (i, &p) in parents.iter().enumerate() {
+            let parent = p as usize % (i + 1);
+            atom_vars[parent].push(next_var);
+            atom_vars[i + 1].push(next_var);
+            next_var += 1;
+        }
+        for a in &mut atom_vars {
+            a.push(next_var);
+            next_var += 1;
+        }
+        prop_assert!(!is_cyclic(&atom_vars), "{atom_vars:?}");
+    }
+}
+
+/// The AGM bound is exact where exactness is attainable: on the complete
+/// bipartite (full-grid) edge relation `[k] × [k]`, the triangle join
+/// produces exactly `k³ = (k²)^{3/2}` rows and the 4-clique exactly
+/// `k⁴ = (k²)²` — and `agm_bound` returns precisely those numbers.
+#[test]
+fn agm_bound_is_exact_on_complete_grid_inputs() {
+    for k in [2usize, 3, 4] {
+        let m = (k * k) as f64;
+        let tri: Vec<(f64, Vec<usize>)> = Pattern::triangle()
+            .atom_vars()
+            .into_iter()
+            .map(|vs| (m, vs))
+            .collect();
+        let k3 = (k as f64).powi(3);
+        assert!((agm_bound(&tri) - k3).abs() < 1e-6, "k={k}: {}", agm_bound(&tri));
+        let cl4: Vec<(f64, Vec<usize>)> = Pattern::clique(4)
+            .atom_vars()
+            .into_iter()
+            .map(|vs| (m, vs))
+            .collect();
+        let k4 = (k as f64).powi(4);
+        assert!((agm_bound(&cl4) - k4).abs() < 1e-6, "k={k}: {}", agm_bound(&cl4));
+
+        // the bound is attained: run the triangle on the actual grid
+        let mut e = Relation::new(edge_schema());
+        for a in 0..k as i64 {
+            for b in 0..k as i64 {
+                e.push(row![a, b, 1.0]).unwrap();
+            }
+        }
+        let mut c = Catalog::new();
+        c.create_table("E", e).unwrap();
+        let profile = oracle_like();
+        let pat = Pattern::triangle();
+        let (wcoj, _) = execute(&pat.wcoj_plan(k * k), &c, &profile).unwrap();
+        let (bin, _) = execute(&pat.binary_plan(), &c, &profile).unwrap();
+        assert_eq!(wcoj.len(), k * k * k, "k={k}");
+        assert_eq!(bin.len(), wcoj.len(), "k={k}");
     }
 }
 
