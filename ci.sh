@@ -93,6 +93,23 @@ grep -q '"experiment": "wcoj"' "$wcoj_dir/BENCH_wcoj.json"
 grep -q '"verdict"' "$wcoj_dir/BENCH_wcoj.json"
 rm -rf "$wcoj_dir"
 
+# metrics smoke: the metrics layer must export valid Prometheus
+# exposition + JSON and the engine must be able to query its own
+# aio_metrics / aio_query_log system tables (all asserted inside the
+# binary). The differential suite (tests/metrics_system_tables.rs) is
+# part of the default `cargo test` above; the ≤2% enabled-overhead bar
+# is only meaningful at full scale and is enforced by `./ci.sh full`.
+met_dir="$(mktemp -d)"
+(cd "$met_dir" && "$repro_bin" metrics --scale 0.2) |
+    tee "$met_dir/metrics.out"
+grep -q "prometheus exposition: OK" "$met_dir/metrics.out"
+grep -q "json export: OK" "$met_dir/metrics.out"
+grep -q "self-query:" "$met_dir/metrics.out"
+test -s "$met_dir/METRICS.prom"
+test -s "$met_dir/METRICS.json"
+grep -q "# TYPE aio_" "$met_dir/METRICS.prom"
+rm -rf "$met_dir"
+
 if [ "$mode" = full ]; then
     # zero-cost-when-disabled bar: <2% overhead on a ~1M-edge hash join
     # (writes BENCH_trace_overhead.json; the binary prints the verdict).
@@ -118,4 +135,11 @@ if [ "$mode" = full ]; then
     wcoj_out="$(cargo run --release -p aio-bench --bin repro -- wcoj)"
     echo "$wcoj_out"
     echo "$wcoj_out" | grep -q "≥5x bar: PASS"
+
+    # metrics bar at full scale: ≤2% overhead with metrics *enabled* on
+    # the 1M-edge hash join (BENCH_metrics_overhead.json).
+    met_out="$(cargo run --release -p aio-bench --bin repro -- metrics_overhead)"
+    echo "$met_out"
+    echo "$met_out" | grep -q "<2% bar: PASS"
+    test -s BENCH_metrics_overhead.json
 fi

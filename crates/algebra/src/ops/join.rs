@@ -291,6 +291,7 @@ fn hash_join(
     let build_start = Instant::now();
     let build = KeyIndex::build_partitioned(right, &keys.right, build_parts);
     let build_ns = build_start.elapsed().as_nanos() as u64;
+    aio_metrics::global().engine.join_build_rows.observe(right.len() as u64);
 
     // Morsel-parallel probe over the left side: each morsel fills its own
     // row buffer (plus, for full joins, its own matched-right bitmap), and

@@ -236,6 +236,10 @@ pub struct Evaluator<'a> {
     /// catalog statistics at each `eval_root` when tracing — so EXPLAIN
     /// ANALYZE shows per-iteration estimates tracking the shrinking delta.
     est: Vec<u64>,
+    /// Largest estimated operator-output footprint seen by this evaluator
+    /// (bytes); tracked only while metrics are enabled. The query layer
+    /// maxes this across evaluators into the per-query peak-memory figure.
+    mem_peak: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -247,7 +251,14 @@ impl<'a> Evaluator<'a> {
             tracer: None,
             node_seq: 0,
             est: Vec::new(),
+            mem_peak: 0,
         }
+    }
+
+    /// Peak estimated operator-output bytes observed so far (0 when
+    /// metrics are disabled).
+    pub fn mem_peak(&self) -> u64 {
+        self.mem_peak
     }
 
     /// An evaluator that records one span per operator invocation.
@@ -282,7 +293,9 @@ impl<'a> Evaluator<'a> {
 
     pub fn eval(&mut self, plan: &Plan) -> Result<Relation> {
         let Some(t) = self.tracer else {
-            return self.eval_node(plan);
+            let out = self.eval_node(plan)?;
+            self.note_row_output(plan, &out);
+            return Ok(out);
         };
         let node = self.node_seq;
         self.node_seq += 1;
@@ -298,6 +311,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         let out = self.eval_node(plan)?;
+        self.note_row_output(plan, &out);
         span.field("rows_out", out.len() as u64);
         if matches!(plan, Plan::Join { .. }) {
             let ph = ops::last_join_phases();
@@ -312,6 +326,37 @@ impl<'a> Evaluator<'a> {
             span.field("tries_cached", ph.tries_cached);
         }
         Ok(out)
+    }
+
+    /// Metrics tap on the row path: one branch when disabled, otherwise
+    /// per-operator-invocation counter updates (never per row).
+    #[inline]
+    fn note_row_output(&mut self, plan: &Plan, out: &Relation) {
+        if !aio_metrics::enabled() {
+            return;
+        }
+        self.mem_peak = self.mem_peak.max(out.approx_bytes());
+        aio_metrics::hooks::op_rows(op_name(plan), out.len() as u64);
+    }
+
+    /// Batch-path twin of [`Evaluator::note_row_output`]; additionally
+    /// counts logical batches and their estimated bytes.
+    #[inline]
+    fn note_batch_output(&mut self, plan: &Plan, out: &BVal) {
+        if !aio_metrics::enabled() {
+            return;
+        }
+        let bytes = match out {
+            BVal::Rows(r) => r.approx_bytes(),
+            BVal::Cols(b) => {
+                let batches = b.len().div_ceil(self.profile.batch_size.max(1)).max(1);
+                let bytes = b.approx_bytes();
+                aio_metrics::hooks::batches(batches as u64, bytes);
+                bytes
+            }
+        };
+        self.mem_peak = self.mem_peak.max(bytes);
+        aio_metrics::hooks::op_rows(op_name(plan), out.len() as u64);
     }
 
     fn eval_node(&mut self, plan: &Plan) -> Result<Relation> {
@@ -474,7 +519,9 @@ impl<'a> Evaluator<'a> {
     /// `batches` count on columnar outputs.
     fn eval_batch(&mut self, plan: &Plan) -> Result<BVal> {
         let Some(t) = self.tracer else {
-            return self.eval_node_batch(plan);
+            let out = self.eval_node_batch(plan)?;
+            self.note_batch_output(plan, &out);
+            return Ok(out);
         };
         let node = self.node_seq;
         self.node_seq += 1;
@@ -490,6 +537,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         let out = self.eval_node_batch(plan)?;
+        self.note_batch_output(plan, &out);
         span.field("rows_out", out.len() as u64);
         if let BVal::Cols(b) = &out {
             let batches = b.len().div_ceil(self.profile.batch_size.max(1)).max(1);

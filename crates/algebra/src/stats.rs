@@ -70,6 +70,7 @@ impl ExecStats {
         if info.parallel() {
             self.parallel_ops += 1;
             self.morsels += info.morsels;
+            aio_metrics::hooks::parallel_op(info.morsels);
         }
     }
 

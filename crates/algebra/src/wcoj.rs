@@ -158,10 +158,13 @@ pub(crate) fn multiway_join(
             participants: &participants,
             all_rows,
             armed: fault::wcoj_fault_armed(),
+            seeks: 0,
+            gallop_steps: 0,
             out: Vec::new(),
             row: Vec::with_capacity(schema.arity()),
         };
         lftj.search(0)?;
+        aio_metrics::hooks::wcoj_flush(lftj.seeks, lftj.gallop_steps);
         lftj.out
     } else {
         let mut lftj = Lftj {
@@ -169,10 +172,14 @@ pub(crate) fn multiway_join(
             cursors: tries.iter().map(|t| t.cursor()).collect(),
             participants: &participants,
             all_rows,
+            seeks: 0,
             out: Vec::new(),
             row: Vec::with_capacity(schema.arity()),
         };
         lftj.search(0)?;
+        // Gallop steps live inside `TrieCursor::seek` on this path; only
+        // the seek count is visible here.
+        aio_metrics::hooks::wcoj_flush(lftj.seeks, 0);
         lftj.out
     };
     phases.probe_ns = probe_start.elapsed().as_nanos() as u64;
@@ -191,6 +198,8 @@ struct Lftj<'a> {
     participants: &'a [Vec<usize>],
     /// For keyless children (pure cross-product factors): every row id.
     all_rows: Vec<Option<Vec<u32>>>,
+    /// Seek count for this search, flushed to metrics once at the end.
+    seeks: u64,
     out: Vec<aio_storage::Row>,
     row: Vec<Value>,
 }
@@ -251,8 +260,11 @@ impl Lftj<'_> {
                     if !self.cursors[parts[0]].next() {
                         break 'search;
                     }
-                } else if !Self::seek_lub(&mut self.cursors[min_c], max) {
-                    break 'search;
+                } else {
+                    self.seeks += 1;
+                    if !Self::seek_lub(&mut self.cursors[min_c], max) {
+                        break 'search;
+                    }
                 }
             }
         }
@@ -323,6 +335,10 @@ struct IntLftj<'a> {
     all_rows: Vec<Option<Vec<u32>>>,
     /// Fault flag hoisted out of the per-seek TLS read.
     armed: bool,
+    /// Seek count for this search, flushed to metrics once at the end.
+    seeks: u64,
+    /// Galloping probe-loop iterations across every seek, same flush.
+    gallop_steps: u64,
     out: Vec<aio_storage::Row>,
     row: Vec<Value>,
 }
@@ -367,7 +383,8 @@ impl IntLftj<'_> {
         let d = self.frames[c].len() - 1;
         let (pos, hi) = self.frames[c][d];
         let col = self.keys[c][d];
-        let landed = gallop_i64(col, pos, hi, |k| k < v);
+        self.seeks += 1;
+        let landed = gallop_i64(col, pos, hi, |k| k < v, &mut self.gallop_steps);
         self.frames[c][d].0 = landed;
         if landed >= hi {
             return false;
@@ -460,7 +477,8 @@ impl IntLftj<'_> {
                 }
                 k0 = col0[p0];
             } else if k0 < k1 {
-                p0 = gallop_i64(col0, p0, h0, |k| k < k1);
+                self.seeks += 1;
+                p0 = gallop_i64(col0, p0, h0, |k| k < k1, &mut self.gallop_steps);
                 if p0 >= h0 {
                     return Ok(());
                 }
@@ -474,7 +492,8 @@ impl IntLftj<'_> {
                     k0 = col0[p0];
                 }
             } else {
-                p1 = gallop_i64(col1, p1, h1, |k| k < k0);
+                self.seeks += 1;
+                p1 = gallop_i64(col1, p1, h1, |k| k < k0, &mut self.gallop_steps);
                 if p1 >= h1 {
                     return Ok(());
                 }
@@ -517,7 +536,13 @@ impl IntLftj<'_> {
 /// distances and run lengths in a leapfrog join are usually a handful of
 /// positions, so this is O(log distance), not O(log level-size).
 #[inline]
-fn gallop_i64(s: &[i64], from: usize, hi: usize, holds: impl Fn(i64) -> bool) -> usize {
+fn gallop_i64(
+    s: &[i64],
+    from: usize,
+    hi: usize,
+    holds: impl Fn(i64) -> bool,
+    steps: &mut u64,
+) -> usize {
     if from >= hi || !holds(s[from]) {
         return from;
     }
@@ -526,6 +551,7 @@ fn gallop_i64(s: &[i64], from: usize, hi: usize, holds: impl Fn(i64) -> bool) ->
     while lo + step < hi && holds(s[lo + step]) {
         lo += step;
         step <<= 1;
+        *steps += 1;
     }
     let end = hi.min(lo.saturating_add(step));
     lo + 1 + s[lo + 1..end].partition_point(|&k| holds(k))

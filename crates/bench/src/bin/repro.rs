@@ -24,6 +24,13 @@
 //!             join on triangle + K-truss support over a ~1M-edge
 //!             power-law graph; not part of `all`, emits BENCH_wcoj.json;
 //!             --scale is relative to 1M edges and defaults to 1.0)
+//!             metrics (metrics-layer smoke: Prometheus/JSON export to
+//!             METRICS.prom / METRICS.json + engine self-query of the
+//!             aio_metrics / aio_query_log system tables; not part of
+//!             `all`; --scale is relative to 50k edges and defaults to 1.0)
+//!             metrics_overhead (metrics on-vs-off cost on a ~1M-edge hash
+//!             join; not part of `all`, emits BENCH_metrics_overhead.json;
+//!             --scale is relative to 1M edges and defaults to 1.0)
 //! explain <algo> : EXPLAIN ANALYZE one algorithm (pagerank | tc | sssp |
 //!             wcc) — prints the annotated plan tree + per-iteration
 //!             convergence and writes TRACE_<algo>.json (Perfetto) and
@@ -99,6 +106,10 @@ fn main() {
             "columnar" => exp::columnar(if scale_given { scale } else { 1.0 }),
             "wcoj" => exp::wcoj(if scale_given { scale } else { 1.0 }),
             "durability" => exp::durability(if scale_given { scale } else { 1.0 }),
+            "metrics" => exp::metrics(if scale_given { scale } else { 1.0 }),
+            "metrics_overhead" => {
+                exp::metrics_overhead(if scale_given { scale } else { 1.0 })
+            }
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;
@@ -120,7 +131,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S]\n\
          \x20      repro explain <pagerank|tc|sssp|wcc> [--scale S]\n\
-         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer columnar wcoj durability"
+         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer columnar wcoj durability metrics metrics_overhead"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -733,6 +733,189 @@ pub fn trace_overhead(scale: f64) -> String {
     )
 }
 
+/// `repro metrics_overhead` — the metrics layer's cheapness check on the
+/// same ~1M-edge hash join as `trace_overhead`: the full evaluator run with
+/// the global metrics switch off vs. on, measured as a trimmed mean of
+/// per-rep back-to-back enabled/disabled ratios (robust to host-floor
+/// drift and load bursts).
+/// `scale` is relative to 1M edges. Writes `BENCH_metrics_overhead.json`;
+/// the acceptance bar is `overhead_enabled_pct < 2` — metrics *enabled*
+/// (the production default) must cost at most 2%.
+pub fn metrics_overhead(scale: f64) -> String {
+    let edges = ((1.0e6 * scale) as usize).max(10_000);
+    let nodes = (edges / 10).max(100);
+    let g = aio_graph::generate(aio_graph::GraphKind::PowerLaw, nodes, edges, true, 47);
+    let mut catalog = aio_storage::Catalog::new();
+    catalog
+        .create_table("E", aio_graph::load::edge_relation(&g))
+        .expect("create E");
+    catalog
+        .create_table("V", aio_graph::load::node_relation(&g))
+        .expect("create V");
+    let profile = oracle_like();
+    let par = profile.effective_parallelism();
+    let plan = Plan::Join {
+        left: Box::new(Plan::scan("E")),
+        right: Box::new(Plan::scan("V")),
+        on: vec![("T".to_string(), "ID".to_string())],
+        residual: None,
+        kind: JoinType::Inner,
+    };
+
+    // The host floor drifts by far more than the 2% bar over tens of
+    // seconds (shared 1-CPU container: frequency scaling, neighbors), so
+    // neither arm's min-of-N is trustworthy on its own. Instead each rep
+    // runs both arms back-to-back (≈1 s apart, inside one drift window)
+    // and contributes one enabled/disabled *ratio*; the overhead is a
+    // 25%-trimmed mean of the ratios, so burst-perturbed pairs fall in
+    // the trimmed tails. Per-pair ratios still scatter by a few percent,
+    // hence the rep count: 31 pairs puts the estimator's standard error
+    // well under 1%, comfortably inside the 2% bar. The lead arm
+    // alternates per rep so within-pair position bias cancels, and rep 0
+    // is an untimed warm-up.
+    let reps = 31usize;
+    let mut off = (f64::INFINITY, 0usize);
+    let mut on = (f64::INFINITY, 0usize);
+    fn timed(slot: &mut (f64, usize), warm: bool, op: &mut dyn FnMut() -> usize) -> f64 {
+        let t0 = Instant::now();
+        let rows = op();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if !warm {
+            slot.0 = slot.0.min(ms);
+        }
+        slot.1 = rows;
+        ms
+    }
+    let was_enabled = aio_metrics::enabled();
+    let mut ratios = Vec::with_capacity(reps);
+    for rep in 0..=reps {
+        let warm = rep == 0;
+        let enabled_first = rep % 2 == 1;
+        let mut pair = [0.0f64; 2]; // [disabled_ms, enabled_ms]
+        for phase in 0..2 {
+            let run_enabled = (phase == 0) == enabled_first;
+            aio_metrics::set_enabled(run_enabled);
+            let slot = if run_enabled { &mut on } else { &mut off };
+            pair[run_enabled as usize] = timed(slot, warm, &mut || {
+                let (rel, _) = execute_traced(&plan, &catalog, &profile, None).expect("bench run");
+                rel.len()
+            });
+        }
+        if !warm && pair[0] > 0.0 {
+            ratios.push(pair[1] / pair[0]);
+        }
+        if std::env::var_os("AIO_BENCH_DEBUG").is_some() {
+            eprintln!(
+                "rep {rep:2} {} off={:.1}ms on={:.1}ms ratio={:.4}",
+                if enabled_first { "on-first " } else { "off-first" },
+                pair[0],
+                pair[1],
+                pair[1] / pair[0].max(1e-9),
+            );
+        }
+    }
+    aio_metrics::set_enabled(was_enabled);
+    let (disabled_ms, disabled_rows) = off;
+    let (enabled_ms, enabled_rows) = on;
+    assert_eq!(disabled_rows, enabled_rows);
+
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let trim = ratios.len() / 4;
+    let core = &ratios[trim..ratios.len() - trim];
+    let mean_ratio = if core.is_empty() {
+        1.0
+    } else {
+        core.iter().sum::<f64>() / core.len() as f64
+    };
+    let overhead_enabled = (mean_ratio - 1.0) * 100.0;
+    let verdict = if overhead_enabled < 2.0 { "PASS" } else { "FAIL" };
+
+    let json = format!(
+        "{{\n  \"experiment\": \"metrics_overhead\",\n  \"edges\": {edges},\n  \"nodes\": {nodes},\n  \
+         \"reps\": {reps},\n  \"parallelism\": {par},\n  \"out_rows\": {disabled_rows},\n  \
+         \"disabled_ms\": {disabled_ms:.3},\n  \"enabled_ms\": {enabled_ms:.3},\n  \
+         \"overhead_enabled_pct\": {overhead_enabled:.3},\n  \
+         \"threshold_pct\": 2.0,\n  \"verdict\": \"{verdict}\"\n}}\n",
+    );
+    let json_note = match std::fs::write("BENCH_metrics_overhead.json", &json) {
+        Ok(()) => "results written to BENCH_metrics_overhead.json".to_string(),
+        Err(err) => format!("could not write BENCH_metrics_overhead.json: {err}"),
+    };
+
+    format!(
+        "Metrics overhead — hash join E({edges}) ⋈ V({nodes}), {reps} paired reps\n\n\
+         metrics disabled : {disabled_ms:>8.1} ms (best)\n\
+         metrics enabled  : {enabled_ms:>8.1} ms (best)\n\
+         trimmed-mean paired overhead: {overhead_enabled:+.2}%\n\n\
+         enabled-metrics overhead vs the <2% bar: {verdict}. {json_note}\n"
+    )
+}
+
+/// `repro metrics` — smoke the metrics layer end to end: run a small
+/// workload, export the registry (Prometheus text to `METRICS.prom`, JSON
+/// to `METRICS.json`), validate the exposition parses, and have the engine
+/// query its *own* `aio_metrics` / `aio_query_log` system relations in SQL.
+pub fn metrics(scale: f64) -> String {
+    let edges = ((50_000.0 * scale) as usize).max(1_000);
+    let nodes = (edges / 10).max(50);
+    let was_enabled = aio_metrics::enabled();
+    aio_metrics::set_enabled(true);
+    let g = aio_graph::generate(aio_graph::GraphKind::PowerLaw, nodes, edges, true, 47);
+    let mut db = aio_withplus::Database::new(oracle_like());
+    db.create_table("E", aio_graph::load::edge_relation(&g)).expect("create E");
+    db.create_table("V", aio_graph::load::node_relation(&g)).expect("create V");
+
+    // A scan-filter-join SELECT and a bounded fixpoint, so operator, cache,
+    // and fixpoint metric families all move.
+    db.execute("select E.F, E.T, V.vw from E, V where E.T = V.ID and E.F < 100")
+        .expect("select workload");
+    db.execute(
+        "with P(ID, W) as (\
+           (select V.ID, 0.0 from V)\
+           union by update ID\
+           (select E.T, max(P.W + E.ew) from P, E where P.ID = E.F group by E.T)\
+           maxrecursion 2)\
+         select * from P",
+    )
+    .expect("with+ workload");
+
+    let reg = aio_metrics::global();
+    let prom = reg.to_prometheus();
+    let samples = aio_metrics::export::validate_prometheus(&prom)
+        .expect("prometheus exposition must parse");
+    let json = reg.to_json();
+    let prom_note = match std::fs::write("METRICS.prom", &prom) {
+        Ok(()) => "written to METRICS.prom".to_string(),
+        Err(err) => format!("could not write METRICS.prom: {err}"),
+    };
+    let json_note = match std::fs::write("METRICS.json", &json) {
+        Ok(()) => "written to METRICS.json".to_string(),
+        Err(err) => format!("could not write METRICS.json: {err}"),
+    };
+
+    // The engine reads its own query log: both workload statements above
+    // must be visible rows.
+    let log = db
+        .execute("select * from aio_query_log")
+        .expect("self-query aio_query_log");
+    let met = db
+        .execute("select * from aio_metrics where aio_metrics.value > 0")
+        .expect("self-query aio_metrics");
+    assert!(log.relation.len() >= 2, "query log sees the workload");
+    assert!(!met.relation.is_empty(), "metrics table has nonzero samples");
+
+    aio_metrics::set_enabled(was_enabled);
+    format!(
+        "Metrics — workload E({edges}) ⋈ V({nodes}) + bounded fixpoint\n\n\
+         prometheus exposition: OK ({samples} samples, {prom_note})\n\
+         json export: OK ({} bytes, {json_note})\n\
+         self-query: aio_query_log rows={}, aio_metrics nonzero rows={}\n",
+        json.len(),
+        log.relation.len(),
+        met.relation.len(),
+    )
+}
+
 /// `repro optimizer` — A/B the cost-based pass (ISSUE 4 tentpole) on a
 /// selective three-way join over a ~1M-edge power-law graph:
 ///
@@ -1386,6 +1569,30 @@ mod tests {
         );
         // tiny-scale artifact; the committed one comes from `repro durability`
         let _ = std::fs::remove_file("BENCH_durability.json");
+    }
+
+    #[test]
+    fn metrics_experiments_run_at_tiny_scale() {
+        // One test for both metrics experiments: they toggle the global
+        // metrics switch, so running them sequentially here keeps them
+        // from racing each other (asserts inside check export validity,
+        // identical A/B row counts and the engine's self-query; the ≤2%
+        // gate is only meaningful at full scale, so don't assert PASS).
+        let out = metrics_overhead(0.0);
+        assert!(out.contains("trimmed-mean paired overhead"), "{out}");
+        assert!(
+            std::fs::metadata("BENCH_metrics_overhead.json").map(|m| m.len() > 0).unwrap_or(false),
+            "BENCH_metrics_overhead.json missing or empty"
+        );
+        // tiny-scale artifact; the committed one comes from `repro metrics_overhead`
+        let _ = std::fs::remove_file("BENCH_metrics_overhead.json");
+
+        let out = metrics(0.02);
+        assert!(out.contains("prometheus exposition: OK"), "{out}");
+        assert!(out.contains("json export: OK"), "{out}");
+        assert!(out.contains("self-query: aio_query_log rows="), "{out}");
+        let _ = std::fs::remove_file("METRICS.prom");
+        let _ = std::fs::remove_file("METRICS.json");
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   datasets, and native comparator engines;
 //! * [`algos`] — the paper's graph algorithms as with+ programs;
 //! * [`trace`] — hierarchical spans, per-iteration fixpoint telemetry and
-//!   EXPLAIN ANALYZE plumbing shared by every execution engine.
+//!   EXPLAIN ANALYZE plumbing shared by every execution engine;
+//! * [`metrics`] — the engine-wide metrics registry: counters, gauges and
+//!   histograms fed by every layer, per-query [`metrics::QueryReport`]s,
+//!   Prometheus/JSON export, and the self-queryable `aio_metrics` /
+//!   `aio_query_log` system relations.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +52,7 @@ pub use aio_algebra as algebra;
 pub use aio_algos as algos;
 pub use aio_datalog as datalog;
 pub use aio_graph as graph;
+pub use aio_metrics as metrics;
 pub use aio_storage as storage;
 pub use aio_trace as trace;
 pub use aio_withplus as withplus;

@@ -233,6 +233,7 @@ impl SemiNaive {
                 span.field(format!("delta.{pred}"), *n as u64);
             }
         }
+        aio_metrics::hooks::datalog_round(stat.new_tuples as u64);
         self.rounds.push(stat);
     }
 

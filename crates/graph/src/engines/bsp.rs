@@ -96,6 +96,7 @@ impl<'g> Bsp<'g> {
                 s.field("active_vertices", active_vertices);
                 s.field("messages_sent", outgoing.len() as u64);
             }
+            aio_metrics::hooks::superstep(active_vertices);
             if active_vertices == 0 {
                 break;
             }

@@ -49,6 +49,7 @@ impl<'g> VertexCentric<'g> {
                 s.field("superstep", iter as u64);
                 s.field("active_vertices", n as u64); // PR keeps all vertices hot
             }
+            aio_metrics::hooks::superstep(n as u64);
             let mut next = vec![0.0f64; n];
             let chunk = n.div_ceil(self.threads.max(1));
             std::thread::scope(|s| {
@@ -86,6 +87,7 @@ impl<'g> VertexCentric<'g> {
                 s.field("superstep", round);
                 s.field("active_vertices", active.len() as u64);
             }
+            aio_metrics::hooks::superstep(active.len() as u64);
             round += 1;
             let mut next_active = Vec::new();
             for &v in &active {
@@ -135,6 +137,9 @@ impl<'g> VertexCentric<'g> {
         if let Some(s) = &span {
             s.field("relaxed_vertices", relaxed);
         }
+        // One logical superstep: the whole worklist drain, with every
+        // relaxation counted as an active vertex.
+        aio_metrics::hooks::superstep(relaxed);
         dist
     }
 }

@@ -97,6 +97,7 @@ impl Catalog {
         // Base tables are analyzed at load time; temp tables start without
         // statistics, like the paper's PostgreSQL temp tables.
         let stats = (!temp).then(|| rel.collect_stats());
+        aio_metrics::global().engine.relation_bytes_total.add(rel.approx_bytes());
         self.tables.insert(
             key,
             TableEntry {
@@ -107,6 +108,7 @@ impl Catalog {
                 stats,
             },
         );
+        self.refresh_size_gauges();
         Ok(())
     }
 
@@ -127,6 +129,7 @@ impl Catalog {
             ))?;
         }
         let stats = (!temp).then(|| rel.collect_stats());
+        aio_metrics::global().engine.relation_bytes_total.add(rel.approx_bytes());
         self.tables.insert(
             key,
             TableEntry {
@@ -137,7 +140,26 @@ impl Catalog {
                 stats,
             },
         );
+        self.refresh_size_gauges();
         Ok(())
+    }
+
+    /// Install or overwrite a *system* relation (`aio_metrics`,
+    /// `aio_query_log`): derived data like tries — never WAL-logged, gone
+    /// after recovery, re-materialized on demand by the engine. Gets fresh
+    /// statistics so the cost optimizer can plan over it.
+    pub fn put_system_table(&mut self, name: &str, rel: Relation) {
+        let stats = Some(rel.collect_stats());
+        self.tables.insert(
+            norm(name),
+            TableEntry {
+                rel,
+                temp: true,
+                indexes: Vec::new(),
+                tries: TrieCache::default(),
+                stats,
+            },
+        );
     }
 
     /// `ANALYZE name` — (re)collect statistics for one table, temp or not.
@@ -149,9 +171,14 @@ impl Catalog {
         Ok(())
     }
 
-    /// Statistics for `name`, if collected and still valid.
+    /// Statistics for `name`, if collected and still valid. Probes on
+    /// existing tables count toward the stats-cache hit/miss metrics (a
+    /// miss is the paper's "temp table without statistics" pain point).
     pub fn stats(&self, name: &str) -> Option<&RelationStats> {
-        self.tables.get(&norm(name)).and_then(|e| e.stats.as_ref())
+        let e = self.tables.get(&norm(name))?;
+        let stats = e.stats.as_ref();
+        aio_metrics::hooks::stats_cache(stats.is_some());
+        stats
     }
 
     fn entry_mut_keep_stats(&mut self, name: &str) -> Result<&mut TableEntry> {
@@ -168,7 +195,9 @@ impl Catalog {
         if self.durable.is_some() {
             self.wal_append(wal::enc_drop(&key))?;
         }
-        Ok(self.tables.remove(&key).expect("checked above").rel)
+        let rel = self.tables.remove(&key).expect("checked above").rel;
+        self.refresh_size_gauges();
+        Ok(rel)
     }
 
     /// `ALTER TABLE old RENAME TO new` (the second half of the drop/alter
@@ -257,6 +286,7 @@ impl Catalog {
         e.rel.truncate();
         e.indexes.clear();
         e.tries.clear();
+        self.refresh_size_gauges();
         Ok(())
     }
 
@@ -272,13 +302,19 @@ impl Catalog {
         if self.durable.is_some() {
             self.wal_append(wal::enc_insert(&norm(name), &rows))?;
         }
+        aio_metrics::global()
+            .engine
+            .relation_bytes_total
+            .add(rows.len() as u64 * crate::relation::approx_row_bytes(expected));
         let e = self.entry_mut_keep_stats(name)?;
         e.stats = None;
         // Inserts invalidate sorted order; a real engine maintains the
         // B-tree incrementally, we rebuild lazily on next use instead.
         e.indexes.clear();
         e.tries.clear();
-        e.rel.extend(rows)
+        let out = e.rel.extend(rows);
+        self.refresh_size_gauges();
+        out
     }
 
     /// Build (or rebuild) a sorted index on `cols`. Leaves statistics
@@ -463,6 +499,7 @@ impl Catalog {
         let next = old_seq + 1;
         let dir = d.dir().to_string();
         let vfs = d.vfs();
+        let started = std::time::Instant::now();
         let bytes = snapshot::encode_snapshot(next, self);
         let fin = snapshot::snapshot_file(&dir, next);
         let tmp = format!("{fin}.tmp");
@@ -479,11 +516,26 @@ impl Catalog {
         d.set_seq(next);
         // In-place mutations up to here are inside the snapshot.
         d.dirty.clear();
+        aio_metrics::hooks::checkpoint(bytes.len() as u64, started.elapsed().as_millis() as u64);
         Ok(CheckpointStats {
             seq: next,
             bytes: bytes.len() as u64,
             tables: self.tables.len(),
         })
+    }
+
+    /// Refresh the catalog-footprint gauges (row count and estimated bytes
+    /// across all tables). O(tables), called after structural mutations.
+    fn refresh_size_gauges(&self) {
+        if !aio_metrics::enabled() {
+            return;
+        }
+        let (mut rows, mut bytes) = (0u64, 0u64);
+        for e in self.tables.values() {
+            rows += e.rel.len() as u64;
+            bytes += e.rel.approx_bytes();
+        }
+        aio_metrics::hooks::catalog_size(rows, bytes);
     }
 
     /// Row-for-row equality of the visible contents (names, temp flags,

@@ -178,6 +178,20 @@ impl ColumnVec {
         self.len() == 0
     }
 
+    /// O(1)-ish resident-size estimate (dict strings counted by pointer
+    /// width only; null masks by their words). Feeds the batch metrics.
+    pub fn approx_bytes(&self) -> u64 {
+        let mask = |m: &NullMask| (m.words().len() * 8) as u64;
+        match self {
+            ColumnVec::Int { vals, nulls } => (vals.len() * 8) as u64 + mask(nulls),
+            ColumnVec::Float { vals, nulls } => (vals.len() * 8) as u64 + mask(nulls),
+            ColumnVec::Str { ids, nulls, dict } => {
+                (ids.len() * 4 + dict.len() * std::mem::size_of::<Arc<str>>()) as u64 + mask(nulls)
+            }
+            ColumnVec::Mixed(vals) => (vals.len() * std::mem::size_of::<Value>()) as u64,
+        }
+    }
+
     /// True iff row `i` is NULL.
     #[inline]
     pub fn is_null(&self, i: usize) -> bool {
@@ -639,6 +653,12 @@ impl Batch {
 
     pub fn col(&self, i: usize) -> &ColumnVec {
         &self.cols[i]
+    }
+
+    /// Estimated resident bytes across all columns (see
+    /// [`ColumnVec::approx_bytes`]).
+    pub fn approx_bytes(&self) -> u64 {
+        self.cols.iter().map(|c| c.approx_bytes()).sum()
     }
 
     pub fn col_arc(&self, i: usize) -> Arc<ColumnVec> {

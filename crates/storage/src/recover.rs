@@ -244,6 +244,7 @@ pub fn open_catalog(
     tracer: Option<&Tracer>,
 ) -> Result<(Catalog, RecoveryReport)> {
     let span = maybe_span(tracer, "recovery");
+    let recovery_started = std::time::Instant::now();
     let mut report = RecoveryReport::default();
     vfs.create_dir_all(dir).map_err(|e| io_err("mkdir", dir, e))?;
     let names = vfs.list(dir).unwrap_or_default();
@@ -444,6 +445,7 @@ pub fn open_catalog(
         s.field("interrupted", report.interrupted.is_some());
         s.field("stats_recomputed", report.stats_recomputed as u64);
     }
+    aio_metrics::hooks::recovery(recovery_started.elapsed().as_millis() as u64);
     Ok((catalog, report))
 }
 

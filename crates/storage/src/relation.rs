@@ -21,6 +21,12 @@ macro_rules! row {
     };
 }
 
+/// Estimated resident bytes of one row of the given arity: the boxed-slice
+/// header plus one `Value` slot per column (string spill ignored).
+pub fn approx_row_bytes(arity: usize) -> u64 {
+    (std::mem::size_of::<Row>() + arity * std::mem::size_of::<Value>()) as u64
+}
+
 /// A composite key extracted from a row (group-by keys, join keys,
 /// primary keys).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -96,6 +102,13 @@ impl Relation {
 
     pub fn rows(&self) -> &[Row] {
         &self.rows
+    }
+
+    /// O(1) resident-size estimate: per-row `Vec` header plus one `Value`
+    /// slot per column. Ignores string spill — this feeds metrics (peak
+    /// memory, catalog footprint), not an allocator.
+    pub fn approx_bytes(&self) -> u64 {
+        self.rows.len() as u64 * approx_row_bytes(self.schema.arity())
     }
 
     pub fn rows_mut(&mut self) -> &mut Vec<Row> {

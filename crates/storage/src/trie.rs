@@ -357,9 +357,16 @@ impl TrieCache {
     pub fn get_or_build(&self, rel: &Relation, cols: &[usize]) -> Arc<TrieIndex> {
         let mut g = self.lock();
         if let Some(t) = g.iter().find(|t| t.covers(cols)) {
+            aio_metrics::hooks::trie_cache(true);
             return Arc::clone(t);
         }
+        aio_metrics::hooks::trie_cache(false);
+        let started = std::time::Instant::now();
         let t = Arc::new(TrieIndex::build(rel, cols));
+        aio_metrics::global()
+            .engine
+            .trie_build_ms
+            .observe(started.elapsed().as_millis() as u64);
         g.push(Arc::clone(&t));
         t
     }

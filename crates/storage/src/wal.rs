@@ -772,6 +772,7 @@ impl Durability {
             .map_err(|e| StorageError::Io(format!("append {path}: {e}")))?;
         self.records_appended += 1;
         self.bytes_appended += frame.len() as u64;
+        aio_metrics::hooks::wal_append(frame.len() as u64);
         Ok(())
     }
 
@@ -781,6 +782,7 @@ impl Durability {
             .sync(&path)
             .map_err(|e| StorageError::Io(format!("sync {path}: {e}")))?;
         self.syncs += 1;
+        aio_metrics::hooks::wal_sync();
         Ok(())
     }
 }

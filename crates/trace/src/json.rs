@@ -27,6 +27,106 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Incremental JSON object writer: tracks comma placement and escapes keys
+/// and string values so emitters never hand-roll `format!` JSON. Shared by
+/// the trace sinks and by `aio-metrics`' Prometheus/JSON exports.
+pub struct JsonObj {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObj {
+    pub fn new() -> JsonObj {
+        JsonObj {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Append a pre-serialized JSON value (object, array, number...).
+    pub fn raw(mut self, key: &str, value: &str) -> JsonObj {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> JsonObj {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    pub fn u64(mut self, key: &str, value: u64) -> JsonObj {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    pub fn f64(mut self, key: &str, value: f64) -> JsonObj {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> JsonObj {
+        JsonObj::new()
+    }
+}
+
+/// Incremental JSON array writer, companion to [`JsonObj`].
+pub struct JsonArr {
+    buf: String,
+    any: bool,
+}
+
+impl JsonArr {
+    pub fn new() -> JsonArr {
+        JsonArr {
+            buf: String::from("["),
+            any: false,
+        }
+    }
+
+    /// Append a pre-serialized JSON value as the next element.
+    pub fn push_raw(&mut self, item: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push_str(item);
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for JsonArr {
+    fn default() -> JsonArr {
+        JsonArr::new()
+    }
+}
+
 /// A parsed JSON value. Numbers are kept as f64 (adequate for validation).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -302,6 +402,28 @@ mod tests {
         let doc = format!("{{\"k\":\"{}\"}}", escape(nasty));
         let v = parse(&doc).unwrap();
         assert_eq!(v.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn obj_and_arr_writers_emit_parseable_json() {
+        let mut arr = JsonArr::new();
+        arr.push_raw("1");
+        arr.push_raw("\"two\"");
+        let doc = JsonObj::new()
+            .str("s", "a\"b")
+            .u64("n", 7)
+            .f64("f", 2.5)
+            .f64("bad", f64::NAN)
+            .raw("list", &arr.finish())
+            .raw("empty", &JsonObj::new().finish())
+            .finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.get("n").unwrap().as_num(), Some(7.0));
+        assert_eq!(v.get("f").unwrap().as_num(), Some(2.5));
+        assert_eq!(v.get("bad"), Some(&Json::Null));
+        assert_eq!(v.get("list").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("empty"), Some(&Json::Obj(Default::default())));
     }
 
     #[test]

@@ -96,40 +96,36 @@ impl<W: Write> Sink for JsonlSink<W> {
 }
 
 fn fields_json(fields: &[(crate::FieldKey, crate::FieldValue)]) -> String {
-    let mut out = String::from("{");
-    for (i, (k, v)) in fields.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{}\":{}", crate::json::escape(k), v.to_json()));
+    let mut obj = crate::json::JsonObj::new();
+    for (k, v) in fields {
+        obj = obj.raw(k, &v.to_json());
     }
-    out.push('}');
-    out
+    obj.finish()
 }
 
 /// One-line JSON for a span (no trailing newline).
 pub fn span_jsonl(s: &SpanRecord) -> String {
-    format!(
-        "{{\"kind\":\"span\",\"id\":{},\"parent\":{},\"depth\":{},\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"fields\":{}}}",
-        s.id,
-        s.parent,
-        s.depth,
-        crate::json::escape(s.name),
-        s.start_ns,
-        s.end_ns,
-        fields_json(&s.fields)
-    )
+    crate::json::JsonObj::new()
+        .str("kind", "span")
+        .u64("id", s.id)
+        .u64("parent", s.parent)
+        .u64("depth", s.depth as u64)
+        .str("name", s.name)
+        .u64("start_ns", s.start_ns)
+        .u64("end_ns", s.end_ns)
+        .raw("fields", &fields_json(&s.fields))
+        .finish()
 }
 
 /// One-line JSON for an event (no trailing newline).
 pub fn event_jsonl(e: &EventRecord) -> String {
-    format!(
-        "{{\"kind\":\"event\",\"span\":{},\"name\":\"{}\",\"at_ns\":{},\"fields\":{}}}",
-        e.span,
-        crate::json::escape(e.name),
-        e.at_ns,
-        fields_json(&e.fields)
-    )
+    crate::json::JsonObj::new()
+        .str("kind", "event")
+        .u64("span", e.span)
+        .str("name", e.name)
+        .u64("at_ns", e.at_ns)
+        .raw("fields", &fields_json(&e.fields))
+        .finish()
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@ use crate::psm::{PsmRunner, QueryResult, RunStats};
 use aio_algebra::ops::{AntiJoinImpl, UbuImpl};
 use aio_algebra::{optimize_plan, EngineProfile, Evaluator, Optimizer};
 use aio_storage::{
-    open_catalog, Catalog, CheckpointStats, InterruptedRun, RecoveryReport, Relation, StdVfs,
-    Value, Vfs,
+    open_catalog, Catalog, CheckpointStats, Column, DataType, InterruptedRun, RecoveryReport,
+    Relation, Schema, StdVfs, Value, Vfs,
 };
 use aio_trace::{Trace, Tracer};
 use std::collections::HashMap;
@@ -79,6 +79,87 @@ fn finish_run(
             Err(e)
         }
     }
+}
+
+/// Name of the self-queryable metrics system relation.
+pub const METRICS_TABLE: &str = "aio_metrics";
+/// Name of the self-queryable query-log system relation.
+pub const QUERY_LOG_TABLE: &str = "aio_query_log";
+
+/// `aio_metrics` as a relation: one row per registry sample, in
+/// declaration order — exactly [`aio_metrics::MetricsRegistry::snapshot`].
+fn metrics_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
+    let schema = Schema::new(vec![
+        Column::new("name", DataType::Text),
+        Column::new("kind", DataType::Text),
+        Column::new("value", DataType::Float),
+        Column::new("help", DataType::Text),
+    ]);
+    let mut rel = Relation::new(schema);
+    for s in reg.snapshot() {
+        rel.rows_mut().push(
+            vec![
+                Value::from(s.name),
+                Value::from(s.kind),
+                Value::from(s.value),
+                Value::from(s.help),
+            ]
+            .into_boxed_slice(),
+        );
+    }
+    rel
+}
+
+/// `aio_query_log` as a relation: one row per retained [`QueryReport`],
+/// oldest first.
+///
+/// [`QueryReport`]: aio_metrics::QueryReport
+fn query_log_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
+    let schema = Schema::new(vec![
+        Column::new("seq", DataType::Int),
+        Column::new("sql_hash", DataType::Text),
+        Column::new("sql", DataType::Text),
+        Column::new("wall_ms", DataType::Float),
+        Column::new("rows_out", DataType::Int),
+        Column::new("rows_scanned", DataType::Int),
+        Column::new("iterations", DataType::Int),
+        Column::new("peak_mem_bytes", DataType::Int),
+        Column::new("trie_hits", DataType::Int),
+        Column::new("trie_misses", DataType::Int),
+        Column::new("stats_hits", DataType::Int),
+        Column::new("stats_misses", DataType::Int),
+        Column::new("wal_records", DataType::Int),
+        Column::new("wal_bytes", DataType::Int),
+        Column::new("par", DataType::Int),
+        Column::new("exec", DataType::Text),
+        Column::new("optimizer", DataType::Text),
+    ]);
+    let mut rel = Relation::new(schema);
+    for q in reg.query_log() {
+        rel.rows_mut().push(
+            vec![
+                Value::from(q.seq as i64),
+                Value::from(format!("{:016x}", q.sql_hash)),
+                Value::from(q.sql),
+                Value::from(q.wall_ms),
+                Value::from(q.rows_out as i64),
+                Value::from(q.rows_scanned as i64),
+                Value::from(q.iterations as i64),
+                Value::from(q.peak_mem_bytes as i64),
+                Value::from(q.cache.trie_hits as i64),
+                Value::from(q.cache.trie_misses as i64),
+                Value::from(q.cache.stats_hits as i64),
+                Value::from(q.cache.stats_misses as i64),
+                Value::from(q.cache.wal_records as i64),
+                Value::from(q.cache.wal_bytes as i64),
+                Value::from(q.par as i64),
+                Value::from(q.exec),
+                Value::from(q.optimizer),
+            ]
+            .into_boxed_slice(),
+        );
+    }
+    rel
 }
 
 /// An embedded graph-capable relational database speaking with+.
@@ -275,8 +356,63 @@ impl Database {
         }
     }
 
+    /// Materialize the system relations a statement references so the
+    /// engine can query its own metrics with plain SQL. Matched by a cheap
+    /// substring scan *before* parsing (the tables must exist by
+    /// name-resolution time). `aio_query_log` is refreshed before
+    /// execution, so a statement never sees itself — it appears in the
+    /// next statement's view.
+    fn refresh_system_tables(&mut self, sql: &str) {
+        if !aio_metrics::enabled() {
+            return;
+        }
+        let lower = sql.to_ascii_lowercase();
+        let reg = aio_metrics::global();
+        if lower.contains(METRICS_TABLE) {
+            self.catalog
+                .put_system_table(METRICS_TABLE, metrics_relation(reg));
+        }
+        if lower.contains(QUERY_LOG_TABLE) {
+            self.catalog
+                .put_system_table(QUERY_LOG_TABLE, query_log_relation(reg));
+        }
+    }
+
     /// Execute SQL text: either a with+ statement or a one-shot SELECT.
+    ///
+    /// When metrics are enabled, also attributes this thread's cache/WAL
+    /// traffic to the statement and appends a [`aio_metrics::QueryReport`]
+    /// to the global query log.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        self.refresh_system_tables(sql);
+        if !aio_metrics::enabled() {
+            return self.execute_inner(sql);
+        }
+        let started = Instant::now();
+        let before = aio_metrics::local_counters();
+        let mut result = self.execute_inner(sql);
+        let cache = aio_metrics::local_counters().delta_since(&before);
+        if let Ok(out) = &mut result {
+            out.stats.cache = cache;
+            aio_metrics::global().record_query(aio_metrics::QueryReport {
+                seq: 0, // assigned by record_query
+                sql_hash: aio_metrics::fnv1a(sql),
+                sql: aio_metrics::sql_snippet(sql),
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                rows_out: out.relation.len() as u64,
+                rows_scanned: out.stats.exec.rows_scanned,
+                iterations: out.stats.iterations.len() as u64,
+                peak_mem_bytes: out.stats.peak_mem_bytes,
+                cache,
+                par: self.profile.parallelism as u64,
+                exec: self.profile.exec.label(),
+                optimizer: self.profile.optimizer.label(),
+            });
+        }
+        result
+    }
+
+    fn execute_inner(&mut self, sql: &str) -> Result<QueryResult> {
         match Parser::parse_statement(sql)? {
             Statement::WithPlus(w) => {
                 let ctx = LowerCtx::new(&self.params, self.anti_impl);
@@ -308,9 +444,11 @@ impl Database {
                     Evaluator::with_tracer(&self.catalog, &self.profile, self.tracer.as_ref());
                 let relation = ev.eval_root(&plan)?;
                 drop(span);
+                let peak_mem_bytes = ev.mem_peak();
                 let stats = RunStats {
                     exec: ev.stats,
                     elapsed: start.elapsed(),
+                    peak_mem_bytes,
                     ..Default::default()
                 };
                 Ok(QueryResult { relation, stats })
@@ -362,7 +500,7 @@ impl Database {
                 let ctx = LowerCtx::new(&self.params, self.anti_impl);
                 let plan =
                     optimize_plan(&lower_select(&s, &ctx)?, &self.catalog, self.profile.optimizer);
-                crate::explain::render_select(&plan, &trace, timings)
+                crate::explain::render_select(&plan, &result.stats, &trace, timings)
             }
         };
         Ok(ExplainOutput {

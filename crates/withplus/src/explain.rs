@@ -115,6 +115,7 @@ pub fn render_with_plus(
     out.push_str(&format!("init : {}\n", stats.init_exec));
     out.push_str(&format!("final: {}\n", stats.final_exec));
     out.push_str(&format!("total: {}\n", stats.exec));
+    out.push_str(&resource_footer(stats));
 
     for (i, step) in c.init.iter().enumerate() {
         let label = format!("init[{i}]");
@@ -134,10 +135,30 @@ pub fn render_with_plus(
     out
 }
 
+/// The resource-accounting footer: cache hit rates and the peak estimated
+/// operator-output size. Deterministic (no wall clock), so it is safe under
+/// `timings: false` snapshot tests; all zeros when metrics are disabled.
+fn resource_footer(stats: &RunStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "cache: trie {}/{} hits, stats {}/{} hits\n",
+        stats.cache.trie_hits,
+        stats.cache.trie_total(),
+        stats.cache.stats_hits,
+        stats.cache.stats_total(),
+    ));
+    out.push_str(&format!(
+        "peak mem: {} bytes (est. largest operator output)\n",
+        stats.peak_mem_bytes
+    ));
+    out
+}
+
 /// EXPLAIN ANALYZE report for a one-shot SELECT.
-pub fn render_select(plan: &Plan, trace: &Trace, timings: bool) -> String {
+pub fn render_select(plan: &Plan, stats: &RunStats, trace: &Trace, timings: bool) -> String {
     let mut out = String::new();
     out.push_str("EXPLAIN ANALYZE select\n");
     push_section(&mut out, "select", plan, trace, timings);
+    out.push_str(&resource_footer(stats));
     out
 }

@@ -40,7 +40,7 @@ pub mod translate;
 
 pub use ast::{Expr, FromItem, SelectStmt, Subquery, UnionMode, WithPlus};
 pub use compile::{compile, CompiledWithPlus};
-pub use db::{Database, ExplainOutput};
+pub use db::{Database, ExplainOutput, METRICS_TABLE, QUERY_LOG_TABLE};
 pub use error::{Result, WithPlusError};
 pub use parser::{Parser, Statement};
 pub use psm::{IterStat, QueryResult, RunStats, SubqueryIterStat};

@@ -61,6 +61,13 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Bytes the simulated WAL encoded during the run.
     pub wal_bytes: u64,
+    /// Peak estimated bytes of any single operator output during the run
+    /// (0 when metrics are disabled).
+    pub peak_mem_bytes: u64,
+    /// Trie/stats-cache and durable-WAL traffic attributed to this query.
+    /// The runner only sees evaluator-level peaks; `Database::execute`
+    /// fills this from the thread-local attribution counters.
+    pub cache: aio_metrics::CacheCounters,
     /// Copy of the recursive relation `R` after each iteration, captured
     /// only when `EngineProfile::capture_snapshots` is set. The testkit
     /// compares these across engines to pin the *first* diverging
@@ -258,6 +265,7 @@ impl<'a> PsmRunner<'a> {
         let mut ev = Evaluator::with_tracer(self.catalog, self.profile, self.tracer);
         let rel = ev.eval_root(plan)?;
         self.stats.exec.absorb(&ev.stats);
+        self.stats.peak_mem_bytes = self.stats.peak_mem_bytes.max(ev.mem_peak());
         if let Some(s) = &span {
             s.field("rows_out", rel.len() as u64);
         }
@@ -508,6 +516,7 @@ impl<'a> PsmRunner<'a> {
         }
 
         let max = c.max_recursion.unwrap_or(DEFAULT_MAX_RECURSION);
+        let loop_start = Instant::now();
         for it in resume.unwrap_or(0)..max {
             let it_start = Instant::now();
             let exec_at_start = self.stats.exec.clone();
@@ -627,6 +636,7 @@ impl<'a> PsmRunner<'a> {
                 exec: self.stats.exec.delta_since(&exec_at_start),
                 subqueries,
             });
+            aio_metrics::hooks::fixpoint_iteration(delta_total as u64);
             if self.profile.capture_snapshots {
                 self.stats
                     .snapshots
@@ -640,6 +650,10 @@ impl<'a> PsmRunner<'a> {
                 break; // every C_i is false / fixpoint reached
             }
         }
+        aio_metrics::global()
+            .engine
+            .fixpoint_converge_ms
+            .observe(loop_start.elapsed().as_millis() as u64);
 
         // --- final query ----------------------------------------------------
         // Attribute the final query's operator counts to their own block

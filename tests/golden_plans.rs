@@ -193,3 +193,20 @@ fn reports_annotate_estimated_and_actual_rows() {
     assert!(rep.report.contains("rows="), "{}", rep.report);
     assert!(rep.report.contains("est="), "{}", rep.report);
 }
+
+/// The resource-accounting footer (ISSUE 8): every report — with+ and
+/// one-shot SELECT alike — ends with deterministic cache-hit-rate and
+/// peak-memory lines, which the goldens above therefore also pin.
+#[test]
+fn reports_carry_resource_footer() {
+    let g = golden_graph();
+    let mut db = db_for(&g, &oracle_like(), EdgeStyle::Raw).unwrap();
+    db.set_optimizer(Optimizer::Cost);
+    let rec = db.explain_analyze_opts(&tc::sql(8), false).unwrap().report;
+    assert!(rec.contains("cache: trie "), "{rec}");
+    assert!(rec.contains(" hits, stats "), "{rec}");
+    assert!(rec.contains("peak mem: "), "{rec}");
+    let sel = db.explain_analyze_opts(ACYCLIC_PATH_SQL, false).unwrap().report;
+    assert!(sel.contains("cache: trie "), "{sel}");
+    assert!(sel.contains("peak mem: "), "{sel}");
+}
