@@ -93,6 +93,23 @@ grep -q '"experiment": "wcoj"' "$wcoj_dir/BENCH_wcoj.json"
 grep -q '"verdict"' "$wcoj_dir/BENCH_wcoj.json"
 rm -rf "$wcoj_dir"
 
+# mvcc smoke: the snapshot-isolation A/B must run at reduced scale with
+# identical answers on the serial, COW and every-reader-fleet arm
+# (asserted inside the binary) and emit a well-formed BENCH_mvcc.json.
+# The interleaving sweep (tests/mvcc_isolation.rs) and the sessions
+# differential matrix are part of the default `cargo test` above; the
+# ≤15% COW-overhead and starvation-freedom bars are enforced at full
+# scale by `./ci.sh full`.
+mvcc_dir="$(mktemp -d)"
+(cd "$mvcc_dir" && "$repro_bin" mvcc --scale 0.02) |
+    tee "$mvcc_dir/mvcc.out"
+grep -q "pinned readers" "$mvcc_dir/mvcc.out"
+test -s "$mvcc_dir/BENCH_mvcc.json"
+grep -q '"experiment": "mvcc"' "$mvcc_dir/BENCH_mvcc.json"
+grep -q '"overhead_verdict"' "$mvcc_dir/BENCH_mvcc.json"
+grep -q '"starvation_verdict"' "$mvcc_dir/BENCH_mvcc.json"
+rm -rf "$mvcc_dir"
+
 # metrics smoke: the metrics layer must export valid Prometheus
 # exposition + JSON and the engine must be able to query its own
 # aio_metrics / aio_query_log system tables (all asserted inside the
@@ -142,4 +159,13 @@ if [ "$mode" = full ]; then
     echo "$met_out"
     echo "$met_out" | grep -q "<2% bar: PASS"
     test -s BENCH_metrics_overhead.json
+
+    # mvcc bars at full scale: ≤15% copy-on-write writer overhead vs the
+    # serial baseline on the 1M-edge PageRank, and starvation-freedom for
+    # every fleet of {1, 4, 16} pinned readers (BENCH_mvcc.json).
+    mvcc_out="$(cargo run --release -p aio-bench --bin repro -- mvcc)"
+    echo "$mvcc_out"
+    echo "$mvcc_out" | grep -q "≤15% bar: PASS"
+    echo "$mvcc_out" | grep -q "starvation-freedom bar: PASS"
+    test -s BENCH_mvcc.json
 fi

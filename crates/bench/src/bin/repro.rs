@@ -31,6 +31,11 @@
 //!             metrics_overhead (metrics on-vs-off cost on a ~1M-edge hash
 //!             join; not part of `all`, emits BENCH_metrics_overhead.json;
 //!             --scale is relative to 1M edges and defaults to 1.0)
+//!             mvcc (MVCC snapshot-isolation A/B: one writer runs PageRank
+//!             over a ~1M-edge graph vs the serial baseline, plus fleets
+//!             of {1, 4, 16} pinned reader sessions; not part of `all`,
+//!             emits BENCH_mvcc.json; --scale is relative to 1M edges and
+//!             defaults to 1.0)
 //! explain <algo> : EXPLAIN ANALYZE one algorithm (pagerank | tc | sssp |
 //!             wcc) — prints the annotated plan tree + per-iteration
 //!             convergence and writes TRACE_<algo>.json (Perfetto) and
@@ -110,6 +115,7 @@ fn main() {
             "metrics_overhead" => {
                 exp::metrics_overhead(if scale_given { scale } else { 1.0 })
             }
+            "mvcc" => exp::mvcc(if scale_given { scale } else { 1.0 }),
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;
@@ -131,7 +137,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S]\n\
          \x20      repro explain <pagerank|tc|sssp|wcc> [--scale S]\n\
-         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer columnar wcoj durability metrics metrics_overhead"
+         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer columnar wcoj durability metrics metrics_overhead mvcc"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

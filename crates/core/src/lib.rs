@@ -69,7 +69,9 @@ pub mod prelude {
         Schema, SimVfs, StdVfs, UnsyncedFate, Value, Vfs,
     };
     pub use aio_trace::{Trace, Tracer};
-    pub use aio_withplus::{Database, ExplainOutput, QueryResult, RunStats, WithPlusError};
+    pub use aio_withplus::{
+        Database, ExplainOutput, QueryResult, RunStats, Session, SharedDatabase, WithPlusError,
+    };
 }
 
 #[cfg(test)]

@@ -269,6 +269,13 @@ engine_metrics! {
     // native engines
     native_supersteps_total: Counter => "native-engine supersteps";
     native_active_vertices_total: Counter => "native-engine active vertices summed over supersteps";
+    // MVCC generations and snapshot pins
+    mvcc_generations_total: Counter => "committed catalog generations published to snapshot readers";
+    mvcc_generation_current: Gauge => "newest committed catalog generation number";
+    mvcc_pins_total: Counter => "snapshot pins taken by readers";
+    mvcc_pinned_current: Gauge => "snapshot pins currently held by readers";
+    mvcc_cow_clones_total: Counter => "table entries cloned by copy-on-write before a writer mutation";
+    mvcc_cow_rows_total: Counter => "rows copied by copy-on-write entry clones";
 }
 
 // ---------------------------------------------------------------------------
@@ -366,6 +373,13 @@ pub struct QueryReport {
     pub iterations: u64,
     /// Peak estimated bytes of any operator output during execution.
     pub peak_mem_bytes: u64,
+    /// Session the statement ran under (0 = the database handle itself,
+    /// outside any session).
+    pub session: u64,
+    /// Committed catalog generation the statement observed: the pinned
+    /// snapshot generation for session reads, the post-commit generation
+    /// for writes.
+    pub generation: u64,
     /// Cache/WAL deltas attributed to this query.
     pub cache: CacheCounters,
     pub par: u64,
@@ -684,6 +698,46 @@ pub mod hooks {
         m.recovery_ms.observe_raw(ms);
     }
 
+    /// A commit point published a new committed generation.
+    #[inline]
+    pub fn mvcc_publish(gen: u64) {
+        if !enabled() {
+            return;
+        }
+        let m = &global().engine;
+        m.mvcc_generations_total.add_raw(1);
+        m.mvcc_generation_current.set_raw(gen);
+    }
+
+    /// A reader pinned a snapshot; `held` is the new number of live pins.
+    #[inline]
+    pub fn mvcc_pin(held: u64) {
+        if !enabled() {
+            return;
+        }
+        let m = &global().engine;
+        m.mvcc_pins_total.add_raw(1);
+        m.mvcc_pinned_current.set_raw(held);
+    }
+
+    /// A pinned snapshot was dropped; `held` is the remaining live pins.
+    #[inline]
+    pub fn mvcc_unpin(held: u64) {
+        global().engine.mvcc_pinned_current.set(held);
+    }
+
+    /// Copy-on-write cloned a shared table entry of `rows` rows so the
+    /// writer could mutate it without disturbing pinned snapshots.
+    #[inline]
+    pub fn mvcc_cow_clone(rows: u64) {
+        if !enabled() {
+            return;
+        }
+        let m = &global().engine;
+        m.mvcc_cow_clones_total.add_raw(1);
+        m.mvcc_cow_rows_total.add_raw(rows);
+    }
+
     #[inline]
     pub fn catalog_size(rows: u64, bytes: u64) {
         if !enabled() {
@@ -770,10 +824,10 @@ mod tests {
                 "{name}: not lowercase-snake"
             );
             assert!(
-                ["_total", "_bytes", "_ms", "_rows"]
+                ["_total", "_bytes", "_ms", "_rows", "_current"]
                     .iter()
                     .any(|s| name.ends_with(s)),
-                "{name}: missing unit suffix (_total/_bytes/_ms/_rows)"
+                "{name}: missing unit suffix (_total/_bytes/_ms/_rows/_current)"
             );
         }
         // Derived histogram sample names must not collide either.

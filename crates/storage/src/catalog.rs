@@ -11,12 +11,14 @@
 
 use crate::error::{Result, StorageError};
 use crate::index::SortedIndex;
+use crate::mvcc::{GenerationHub, Snapshot};
 use crate::relation::{Relation, RelationStats, Row};
 use crate::snapshot;
 use crate::trie::{TrieCache, TrieIndex};
 use crate::value::Value;
 use crate::wal::{self, CommitKind, Durability, Wal, WalPolicy};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A catalog entry.
 #[derive(Clone, Debug)]
@@ -38,9 +40,14 @@ pub struct TableEntry {
 }
 
 /// Named relations plus the WAL.
+///
+/// Entries are held behind `Arc` so a committed generation can be forked
+/// as a read-only snapshot in O(tables) ([`Catalog::fork_readonly`]): the
+/// fork shares every entry, and the writer's next mutation of a shared
+/// entry clones only that entry (copy-on-write, see [`Catalog::table_mut`]).
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: HashMap<String, TableEntry>,
+    tables: HashMap<String, Arc<TableEntry>>,
     /// Simulated redo log shared by all tables (the paper's logging cost
     /// model; see `wal.rs`).
     pub wal: Wal,
@@ -48,6 +55,16 @@ pub struct Catalog {
     /// database directory (`recover::open_catalog`). `None` = in-memory
     /// catalog, every durable hook below is a no-op.
     pub(crate) durable: Option<Durability>,
+    /// Committed-generation counter: bumped at every commit point
+    /// (auto-commit, explicit/iteration commit, run end, checkpoint).
+    gen: u64,
+    /// MVCC publication point, present after [`Catalog::enable_mvcc`].
+    /// Every commit point publishes a read-only snapshot fork into it.
+    hub: Option<Arc<GenerationHub>>,
+    /// Explicit-transaction flag for *in-memory* catalogs (durable
+    /// catalogs track it in [`Durability::in_txn`]); suppresses
+    /// per-mutation generation publishes until the commit.
+    mem_txn: bool,
 }
 
 /// What a [`Catalog::checkpoint`] wrote.
@@ -100,15 +117,16 @@ impl Catalog {
         aio_metrics::global().engine.relation_bytes_total.add(rel.approx_bytes());
         self.tables.insert(
             key,
-            TableEntry {
+            Arc::new(TableEntry {
                 rel,
                 temp,
                 indexes: Vec::new(),
                 tries: TrieCache::default(),
                 stats,
-            },
+            }),
         );
         self.refresh_size_gauges();
+        self.maybe_autocommit_publish();
         Ok(())
     }
 
@@ -132,15 +150,16 @@ impl Catalog {
         aio_metrics::global().engine.relation_bytes_total.add(rel.approx_bytes());
         self.tables.insert(
             key,
-            TableEntry {
+            Arc::new(TableEntry {
                 rel,
                 temp,
                 indexes: Vec::new(),
                 tries: TrieCache::default(),
                 stats,
-            },
+            }),
         );
         self.refresh_size_gauges();
+        self.maybe_autocommit_publish();
         Ok(())
     }
 
@@ -152,13 +171,13 @@ impl Catalog {
         let stats = Some(rel.collect_stats());
         self.tables.insert(
             norm(name),
-            TableEntry {
+            Arc::new(TableEntry {
                 rel,
                 temp: true,
                 indexes: Vec::new(),
                 tries: TrieCache::default(),
                 stats,
-            },
+            }),
         );
     }
 
@@ -181,9 +200,21 @@ impl Catalog {
         stats
     }
 
+    /// Mutable access to one entry with copy-on-write: if the entry is
+    /// shared with a published snapshot (or a pinned reader), it is cloned
+    /// first so the snapshot keeps its own rows, statistics and trie cache
+    /// untouched. This is the only place the writer diverges from readers.
+    fn table_mut(&mut self, key: &str) -> Option<&mut TableEntry> {
+        let arc = self.tables.get_mut(key)?;
+        if Arc::strong_count(arc) > 1 {
+            aio_metrics::hooks::mvcc_cow_clone(arc.rel.len() as u64);
+        }
+        Some(Arc::make_mut(arc))
+    }
+
     fn entry_mut_keep_stats(&mut self, name: &str) -> Result<&mut TableEntry> {
-        self.tables
-            .get_mut(&norm(name))
+        let key = norm(name);
+        self.table_mut(&key)
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
@@ -195,8 +226,14 @@ impl Catalog {
         if self.durable.is_some() {
             self.wal_append(wal::enc_drop(&key))?;
         }
-        let rel = self.tables.remove(&key).expect("checked above").rel;
+        let entry = self.tables.remove(&key).expect("checked above");
+        // Snapshots may still share the entry; hand the caller its own copy.
+        let rel = match Arc::try_unwrap(entry) {
+            Ok(e) => e.rel,
+            Err(shared) => shared.rel.clone(),
+        };
         self.refresh_size_gauges();
+        self.maybe_autocommit_publish();
         Ok(rel)
     }
 
@@ -224,6 +261,7 @@ impl Catalog {
                 }
             }
         }
+        self.maybe_autocommit_publish();
         Ok(())
     }
 
@@ -234,6 +272,7 @@ impl Catalog {
     pub fn entry(&self, name: &str) -> Result<&TableEntry> {
         self.tables
             .get(&norm(name))
+            .map(|e| e.as_ref())
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
@@ -254,7 +293,7 @@ impl Catalog {
                 d.dirty.push(key.clone());
             }
         }
-        let e = self.tables.get_mut(&key).expect("checked above");
+        let e = self.table_mut(&key).expect("checked above");
         e.stats = None;
         // The caller may mutate rows in place; cached tries would silently
         // index the old contents.
@@ -287,6 +326,7 @@ impl Catalog {
         e.indexes.clear();
         e.tries.clear();
         self.refresh_size_gauges();
+        self.maybe_autocommit_publish();
         Ok(())
     }
 
@@ -314,6 +354,7 @@ impl Catalog {
         e.tries.clear();
         let out = e.rel.extend(rows);
         self.refresh_size_gauges();
+        self.maybe_autocommit_publish();
         out
     }
 
@@ -363,6 +404,80 @@ impl Catalog {
         let mut v: Vec<String> = self.tables.keys().cloned().collect();
         v.sort();
         v
+    }
+
+    // -- MVCC generations --------------------------------------------------
+
+    /// The committed-generation counter. Bumped at every commit point:
+    /// auto-commits (any mutating method outside a transaction), explicit
+    /// commits, fixpoint-iteration commits, run begin/end, checkpoints.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Is a transaction open (durable WAL transaction, or the in-memory
+    /// equivalent)? While open, mutations do not publish generations —
+    /// readers keep seeing the pre-transaction state until the commit.
+    pub fn in_txn(&self) -> bool {
+        match &self.durable {
+            Some(d) => d.in_txn,
+            None => self.mem_txn,
+        }
+    }
+
+    /// Turn on MVCC publication: every commit point from here on publishes
+    /// a read-only snapshot of this catalog into the returned
+    /// [`GenerationHub`], which readers pin via [`GenerationHub::pin`].
+    /// The hub is primed with the current state; calling again returns the
+    /// existing hub. Catalogs without a hub pay nothing (one `Option`
+    /// check per commit point).
+    pub fn enable_mvcc(&mut self) -> Arc<GenerationHub> {
+        if let Some(h) = &self.hub {
+            return Arc::clone(h);
+        }
+        let hub = Arc::new(GenerationHub::new(Snapshot {
+            gen: self.gen,
+            catalog: self.fork_readonly(),
+        }));
+        self.hub = Some(Arc::clone(&hub));
+        hub
+    }
+
+    /// A read-only fork: shares every table entry with this catalog
+    /// (copy-on-write protects it from future writer mutations), carries
+    /// the same generation number, and has no durable log, no hub and a
+    /// fresh cost-model WAL. O(tables), independent of row counts.
+    pub fn fork_readonly(&self) -> Catalog {
+        Catalog {
+            tables: self.tables.clone(),
+            wal: Wal::new(),
+            durable: None,
+            gen: self.gen,
+            hub: None,
+            mem_txn: false,
+        }
+    }
+
+    /// A commit point: bump the generation and, when MVCC is on, publish
+    /// the new committed state.
+    fn bump_generation(&mut self) {
+        self.gen += 1;
+        if let Some(hub) = &self.hub {
+            hub.publish(Snapshot {
+                gen: self.gen,
+                catalog: self.fork_readonly(),
+            });
+        }
+    }
+
+    /// Auto-commit boundary at the end of every mutating method: outside a
+    /// transaction each mutation is its own committed generation (matching
+    /// the durable WAL's auto-commit records); inside one, the commit
+    /// publishes instead.
+    fn maybe_autocommit_publish(&mut self) {
+        if !self.in_txn() {
+            self.bump_generation();
+        }
     }
 
     // -- durability -------------------------------------------------------
@@ -421,26 +536,37 @@ impl Catalog {
 
     /// Start an explicit WAL transaction: mutations accumulate un-synced
     /// until the next commit marker. Used by the PSM loop (a whole
-    /// iteration is one transaction) and by bulk loaders.
+    /// iteration is one transaction) and by bulk loaders. On an in-memory
+    /// catalog the flag still groups mutations into one MVCC generation.
     pub fn wal_begin_txn(&mut self) {
-        if let Some(d) = self.durable.as_mut() {
-            d.in_txn = true;
+        match self.durable.as_mut() {
+            Some(d) => d.in_txn = true,
+            None => self.mem_txn = true,
         }
     }
 
     fn wal_commit(&mut self, kind: CommitKind, close: bool) -> Result<(u64, u64)> {
-        let Some(d) = self.durable.as_ref() else {
-            return Ok((0, 0));
+        let out = if self.durable.is_some() {
+            let d = self.durable.as_ref().expect("checked above");
+            let before = (d.records_appended(), d.bytes_appended());
+            self.wal_flush_dirty()?;
+            let d = self.durable.as_mut().expect("checked above");
+            d.append_record(&wal::enc_commit(&kind))?;
+            d.sync_wal()?;
+            if close {
+                d.in_txn = false;
+            }
+            (d.records_appended() - before.0, d.bytes_appended() - before.1)
+        } else {
+            if close {
+                self.mem_txn = false;
+            }
+            (0, 0)
         };
-        let before = (d.records_appended(), d.bytes_appended());
-        self.wal_flush_dirty()?;
-        let d = self.durable.as_mut().expect("checked above");
-        d.append_record(&wal::enc_commit(&kind))?;
-        d.sync_wal()?;
-        if close {
-            d.in_txn = false;
-        }
-        Ok((d.records_appended() - before.0, d.bytes_appended() - before.1))
+        // Every commit marker — including the iteration commits that leave
+        // the run transaction open — is an MVCC generation boundary.
+        self.bump_generation();
+        Ok(out)
     }
 
     /// Commit and close an explicit transaction. Returns (records, bytes)
@@ -460,15 +586,18 @@ impl Catalog {
     /// text + parameter bindings) to resume it after a crash, then open its
     /// transaction.
     pub fn wal_run_begin(&mut self, rec: &str, sql: &str, params: &[(String, Value)]) -> Result<()> {
-        if self.durable.is_none() {
-            return Ok(());
+        if self.durable.is_some() {
+            self.wal_flush_dirty()?;
+            let d = self.durable.as_mut().expect("checked above");
+            d.append_record(&wal::enc_run_begin(&norm(rec), sql, params))?;
+            d.append_record(&wal::enc_commit(&CommitKind::Auto))?;
+            d.sync_wal()?;
         }
-        self.wal_flush_dirty()?;
-        let d = self.durable.as_mut().expect("checked above");
-        d.append_record(&wal::enc_run_begin(&norm(rec), sql, params))?;
-        d.append_record(&wal::enc_commit(&CommitKind::Auto))?;
-        d.sync_wal()?;
-        d.in_txn = true;
+        // The pre-run state commits here (stragglers flush durably above);
+        // publish it, then open the run's transaction so the fixpoint's
+        // mutations stay invisible until the first iteration commit.
+        self.bump_generation();
+        self.wal_begin_txn();
         Ok(())
     }
 
@@ -517,6 +646,8 @@ impl Catalog {
         // In-place mutations up to here are inside the snapshot.
         d.dirty.clear();
         aio_metrics::hooks::checkpoint(bytes.len() as u64, started.elapsed().as_millis() as u64);
+        // A checkpoint is a commit point: same content, new generation.
+        self.bump_generation();
         Ok(CheckpointStats {
             seq: next,
             bytes: bytes.len() as u64,

@@ -18,6 +18,7 @@ pub mod error;
 pub mod hash;
 pub mod index;
 pub mod keyidx;
+pub mod mvcc;
 pub mod recover;
 pub mod relation;
 pub mod schema;
@@ -33,6 +34,7 @@ pub use error::{Result, StorageError};
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedIndex};
 pub use keyidx::{key_has_null, key_hash, keys_eq, KeyIndex};
+pub use mvcc::{GenerationHub, PinnedSnapshot, Snapshot};
 pub use recover::{open_catalog, InterruptedRun, RecoveryReport};
 pub use relation::{edge_schema, node_schema, ColumnSketch, Key, Relation, RelationStats, Row};
 pub use schema::{Column, DataType, Schema};

@@ -8,7 +8,7 @@
 //! state differs, via the profile's snapshot knob.
 
 use crate::corpus::{augment_spanning_cycle, NamedGraph};
-use crate::exec::{executors_for_cfg, run_algo, ExecKind, Executor, Params};
+use crate::exec::{executors_for_matrix, run_algo, ExecKind, Executor, Params};
 use crate::result::AlgoResult;
 use aio_algebra::{EngineProfile, ExecMode, Optimizer};
 use aio_algos::{by_key, Tolerance, TABLE2};
@@ -30,6 +30,13 @@ pub struct MatrixConfig {
     /// [`ExecMode::Batch`] pits the columnar engine against every other
     /// executor under exact row equivalence.
     pub exec_modes: Vec<ExecMode>,
+    /// Add the `sessions` axis: each with+ profile additionally runs the
+    /// algorithm through a [`aio_withplus::Session`]-armed execution with a
+    /// concurrent snapshot reader polling pinned generations while the
+    /// fixpoint converges. The reader's anomalies become divergences, and
+    /// the final answer is compared row-identically against the serial
+    /// executor of the same family. Default `false`.
+    pub sessions: bool,
     pub params: Params,
     /// Localize with+-vs-with+ divergences to their first iteration.
     pub localize: bool,
@@ -42,6 +49,7 @@ impl Default for MatrixConfig {
             parallelism: vec![1, 2, 8],
             optimizers: vec![Optimizer::Off],
             exec_modes: vec![ExecMode::Row],
+            sessions: false,
             params: Params::default(),
             localize: true,
         }
@@ -77,6 +85,29 @@ impl MatrixConfig {
             algos: vec!["wcc", "sssp", "pr", "tc"],
             parallelism: vec![1, 8],
             optimizers: Optimizer::all().to_vec(),
+            ..MatrixConfig::default()
+        }
+    }
+
+    /// The sessions matrix: every implemented Table 2 algorithm runs both
+    /// serially and through a session-armed execution with a concurrent
+    /// snapshot reader; answers must be row-identical and the reader must
+    /// observe zero isolation anomalies. `./ci.sh full` runs this
+    /// exhaustively; tier-1 uses [`MatrixConfig::sessions_smoke`].
+    pub fn sessions_full() -> Self {
+        MatrixConfig {
+            parallelism: vec![1],
+            sessions: true,
+            ..MatrixConfig::default()
+        }
+    }
+
+    /// A tier-1-sized slice of [`MatrixConfig::sessions_full`].
+    pub fn sessions_smoke() -> Self {
+        MatrixConfig {
+            algos: vec!["wcc", "sssp", "pr", "tc"],
+            parallelism: vec![1],
+            sessions: true,
             ..MatrixConfig::default()
         }
     }
@@ -278,8 +309,13 @@ pub fn run_matrix(corpus: &[NamedGraph], cfg: &MatrixConfig) -> MatrixReport {
             } else {
                 named.graph.clone()
             };
-            let execs =
-                executors_for_cfg(key, &cfg.parallelism, &cfg.optimizers, &cfg.exec_modes);
+            let execs = executors_for_matrix(
+                key,
+                &cfg.parallelism,
+                &cfg.optimizers,
+                &cfg.exec_modes,
+                cfg.sessions,
+            );
             let mut results: Vec<(Executor, AlgoResult)> = Vec::new();
             for ex in execs {
                 report.runs += 1;
@@ -415,6 +451,33 @@ mod tests {
         assert!(report.runs > 0 && report.comparisons > 0);
         // ts/tc only ran on the DAG
         assert_eq!(report.graph_families.len(), 2);
+    }
+
+    #[test]
+    fn sessions_axis_runs_clean_on_a_tiny_corpus() {
+        let corpus = vec![NamedGraph {
+            name: "tiny-uniform".into(),
+            graph: generate(GraphKind::Uniform, 12, 28, true, 74),
+        }];
+        let cfg = MatrixConfig {
+            algos: vec!["wcc", "pr"],
+            parallelism: vec![1],
+            sessions: true,
+            ..MatrixConfig::default()
+        };
+        let report = run_matrix(&corpus, &cfg);
+        assert!(
+            report.divergences.is_empty(),
+            "{}",
+            report
+                .divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // 3 session runs per algorithm rode along with the serial ones
+        assert!(report.runs >= 2 * 6, "{}", report.summary());
     }
 
     #[test]

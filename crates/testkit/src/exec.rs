@@ -69,6 +69,12 @@ impl Default for Params {
 #[derive(Clone, Debug)]
 pub enum ExecKind {
     WithPlus(EngineProfile),
+    /// The with+ PSM routed through a [`aio_withplus::Session`]-armed run:
+    /// a concurrent snapshot reader polls pinned generations while the
+    /// algorithm converges, and the run fails if the reader observes any
+    /// isolation anomaly. Final answers must stay row-identical to the
+    /// plain `WithPlus` executor of the same profile.
+    WithPlusSession(EngineProfile),
     Sql99(Sql99System),
     VertexCentric,
     Bsp,
@@ -120,6 +126,24 @@ pub fn executors_for_cfg(
     optimizers: &[Optimizer],
     exec_modes: &[ExecMode],
 ) -> Vec<Executor> {
+    executors_for_matrix(key, parallelism, optimizers, exec_modes, false)
+}
+
+/// [`executors_for_cfg`] additionally sweeping the `sessions` axis: when
+/// `sessions` is set, each with+ profile gains one executor that runs the
+/// algorithm with an armed concurrent snapshot reader
+/// ([`aio_withplus::arm_concurrent_reader`]) watching the fixpoint converge
+/// generation by generation. Session executors keep the *same* engine
+/// family as their serial counterpart — MVCC must not change answers, so
+/// even within-family-only algorithms (property oracles, MCL) are compared
+/// session-vs-serial row-identically.
+pub fn executors_for_matrix(
+    key: &str,
+    parallelism: &[usize],
+    optimizers: &[Optimizer],
+    exec_modes: &[ExecMode],
+    sessions: bool,
+) -> Vec<Executor> {
     let spec = match by_key(key) {
         Some(s) => s,
         None => return Vec::new(),
@@ -152,6 +176,18 @@ pub fn executors_for_cfg(
                                 });
                             }
                         }
+                    }
+                    if sessions {
+                        // one session executor per profile at the base
+                        // configuration — the axis tests isolation, not
+                        // the optimizer/exec cross product
+                        let p = parallelism.first().copied().unwrap_or(1);
+                        let prof = profile.clone().with_parallelism(p);
+                        out.push(Executor {
+                            name: format!("with+/{} p{p} sessions", prof.name),
+                            family: format!("with+/{}", prof.name),
+                            kind: ExecKind::WithPlusSession(prof),
+                        });
                     }
                 }
             }
@@ -237,6 +273,7 @@ fn err_str<E: std::fmt::Display>(e: E) -> String {
 pub fn run_algo(key: &str, g: &Graph, exec: &Executor, p: &Params) -> Result<AlgoResult, String> {
     match &exec.kind {
         ExecKind::WithPlus(profile) => run_withplus(key, g, profile, p),
+        ExecKind::WithPlusSession(profile) => run_withplus_session(key, g, profile, p),
         ExecKind::Sql99(sys) => run_sql99(key, g, *sys, p),
         ExecKind::VertexCentric | ExecKind::Bsp | ExecKind::Datalog => {
             run_native(key, g, &exec.kind, p)
@@ -303,6 +340,42 @@ fn run_withplus(
         "bisim" => ni64(a::bisim::run(g, profile).map_err(err_str)?.0),
         other => return Err(format!("unknown algorithm key {other}")),
     })
+}
+
+/// Run the with+ PSM with the concurrent-snapshot-reader harness armed:
+/// while the algorithm's main statement executes, a reader thread pins
+/// published generations and checks monotonicity, repeatable reads and
+/// per-generation digest stability. Any anomaly — or the harness failing
+/// to run at all — turns into an executor error, which the differential
+/// matrix reports as a divergence.
+fn run_withplus_session(
+    key: &str,
+    g: &Graph,
+    profile: &EngineProfile,
+    p: &Params,
+) -> Result<AlgoResult, String> {
+    aio_withplus::arm_concurrent_reader();
+    let out = run_withplus(key, g, profile, p);
+    // if the run errored before reaching the engine the flag may still be
+    // set; never leak it into the next executor
+    aio_withplus::disarm_concurrent_reader();
+    let result = out?;
+    let report = aio_withplus::take_concurrent_report()
+        .ok_or("session axis: the armed concurrent reader never ran")?;
+    if !report.anomalies.is_empty() {
+        return Err(format!(
+            "session axis: concurrent snapshot reader saw {} anomalie(s): {}",
+            report.anomalies.len(),
+            report.anomalies.join("; ")
+        ));
+    }
+    if report.polls == 0 {
+        return Err("session axis: concurrent reader made zero polls".into());
+    }
+    if report.generations.is_empty() {
+        return Err("session axis: concurrent reader pinned no generations".into());
+    }
+    Ok(result)
 }
 
 fn run_sql99(key: &str, g: &Graph, sys: Sql99System, p: &Params) -> Result<AlgoResult, String> {
@@ -539,6 +612,50 @@ mod tests {
             } else {
                 assert!(!e.family.contains("exec="), "{e:?}");
             }
+        }
+    }
+
+    #[test]
+    fn sessions_axis_adds_one_executor_per_profile_in_the_base_family() {
+        let with = executors_for_matrix(
+            "pr",
+            &[1, 2],
+            &[Optimizer::Off],
+            &[ExecMode::Row],
+            true,
+        );
+        let without = executors_for_cfg("pr", &[1, 2], &[Optimizer::Off], &[ExecMode::Row]);
+        assert_eq!(with.len(), without.len() + 3, "{with:#?}");
+        let sessions: Vec<_> = with
+            .iter()
+            .filter(|e| matches!(e.kind, ExecKind::WithPlusSession(_)))
+            .collect();
+        assert_eq!(sessions.len(), 3);
+        for s in &sessions {
+            assert!(s.name.ends_with(" sessions"), "{s:?}");
+            // same family as the serial executor: answers must be
+            // row-identical even for within-family-only algorithms
+            assert!(
+                with.iter().any(|e| {
+                    matches!(e.kind, ExecKind::WithPlus(_)) && e.family == s.family
+                }),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_executor_matches_serial_and_reader_sees_no_anomalies() {
+        let g = aio_graph::generate(aio_graph::GraphKind::Uniform, 10, 24, true, 11);
+        let p = Params::default();
+        let profile = aio_algebra::oracle_like();
+        for key in ["wcc", "pr"] {
+            let serial = run_withplus(key, &g, &profile, &p).unwrap();
+            let session = run_withplus_session(key, &g, &profile, &p)
+                .unwrap_or_else(|e| panic!("{key}: {e}"));
+            session
+                .compare(&serial, &Tolerance::Exact)
+                .unwrap_or_else(|e| panic!("{key}: session diverged from serial: {e}"));
         }
     }
 

@@ -24,12 +24,18 @@
 //!   worst-case-optimal multiway join against forced binary join trees
 //!   and the optimizer sweep on triangle/4-cycle/diamond/clique queries;
 //! * [`shrink`] — greedy delta-debugging of a failing graph to a minimal
-//!   counterexample, plus bit-reproducible replay files.
+//!   counterexample, plus bit-reproducible replay files;
+//! * [`mvcc`] — the deterministic interleaving scheduler: enumerate every
+//!   writer/reader schedule of a workload, execute each single-threaded
+//!   through MVCC sessions, and check snapshot isolation against a
+//!   committed-generation history (failing schedules ddmin to a minimal
+//!   witness).
 
 pub mod corpus;
 pub mod diff;
 pub mod exec;
 pub mod meta;
+pub mod mvcc;
 pub mod patterns;
 pub mod result;
 pub mod shrink;
@@ -43,5 +49,9 @@ pub use meta::{check_metamorphic, MetaRelation, META_ALGOS};
 pub use patterns::{
     default_patterns, pattern_corpus, run_pattern_matrix, Pattern, PatternMatrixConfig,
 };
+pub use mvcc::{
+    render_history, run_history, sweep, FaultMode, HistoryOutcome, ReaderOp, Step, SweepFailure,
+    SweepStats, Workload, WriterOp,
+};
 pub use result::AlgoResult;
-pub use shrink::{shrink, CaseGraph, Replay};
+pub use shrink::{ddmin, shrink, CaseGraph, Replay};

@@ -42,21 +42,22 @@ impl CaseGraph {
     }
 }
 
-/// Greedily shrink `case` while `fails` keeps returning `true` for the
-/// shrunk graph. The predicate must be deterministic; the input case is
-/// assumed failing.
-pub fn shrink(case: &CaseGraph, fails: impl Fn(&Graph) -> bool) -> CaseGraph {
-    let mut cur = case.clone();
-    // phase 1: ddmin over edges with shrinking chunk sizes
-    let mut chunk = (cur.edges.len() / 2).max(1);
+/// Generic delta-debugging minimization: the smallest subsequence of
+/// `items` (greedy chunk removal with halving chunk sizes) for which
+/// `fails` still returns `true`. The predicate must be deterministic;
+/// the full input is assumed failing. Used for graph edges here and for
+/// interleaved-schedule witnesses in [`crate::mvcc`].
+pub fn ddmin<T: Clone>(items: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
     loop {
         let mut progress = false;
         let mut start = 0;
-        while start < cur.edges.len() {
-            let end = (start + chunk).min(cur.edges.len());
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
             let mut candidate = cur.clone();
-            candidate.edges.drain(start..end);
-            if fails(&candidate.to_graph()) {
+            candidate.drain(start..end);
+            if fails(&candidate) {
                 cur = candidate;
                 progress = true;
                 // same `start` now points at the next chunk
@@ -71,6 +72,20 @@ pub fn shrink(case: &CaseGraph, fails: impl Fn(&Graph) -> bool) -> CaseGraph {
             chunk /= 2;
         }
     }
+    cur
+}
+
+/// Greedily shrink `case` while `fails` keeps returning `true` for the
+/// shrunk graph. The predicate must be deterministic; the input case is
+/// assumed failing.
+pub fn shrink(case: &CaseGraph, fails: impl Fn(&Graph) -> bool) -> CaseGraph {
+    let mut cur = case.clone();
+    // phase 1: ddmin over edges
+    cur.edges = ddmin(&case.edges, |edges| {
+        let mut candidate = case.clone();
+        candidate.edges = edges.to_vec();
+        fails(&candidate.to_graph())
+    });
     // phase 2: compact to the vertices still referenced by an edge,
     // remapping ids to 0..k (order-preserving); keep only if still failing
     let mut used: Vec<u32> = cur.edges.iter().flat_map(|&(u, v, _)| [u, v]).collect();
@@ -250,6 +265,25 @@ mod tests {
         let (u, v, _) = min.edges[0];
         assert_eq!((u.min(v), u.max(v)), (0, 1));
         assert!(fails(&min.to_graph()));
+    }
+
+    #[test]
+    fn ddmin_finds_a_minimal_failing_subsequence() {
+        // failure: contains at least one 7 and one 3, in that order
+        let items: Vec<i32> = vec![1, 7, 2, 9, 3, 7, 4, 3, 5];
+        let fails = |xs: &[i32]| {
+            let i7 = xs.iter().position(|&x| x == 7);
+            matches!(i7, Some(i) if xs[i..].contains(&3))
+        };
+        assert!(fails(&items));
+        let min = ddmin(&items, fails);
+        assert_eq!(min, vec![7, 3]);
+    }
+
+    #[test]
+    fn ddmin_keeps_a_one_element_witness() {
+        let min = ddmin(&[5], |xs: &[i32]| !xs.is_empty());
+        assert_eq!(min, vec![5]);
     }
 
     #[test]

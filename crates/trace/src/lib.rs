@@ -182,7 +182,10 @@ struct Inner {
     next_id: u64,
     open: Vec<OpenSpan>,
     ring: RingSink,
-    extra: Vec<Box<dyn Sink>>,
+    // `Send` so a `Tracer`-carrying engine (e.g. a `Database` behind a
+    // session layer) can move across threads; the tracer itself stays
+    // single-threaded (`RefCell`, not `Sync`)
+    extra: Vec<Box<dyn Sink + Send>>,
 }
 
 /// The span collector. Hand out `Option<&Tracer>` to instrumentation sites;
@@ -225,7 +228,7 @@ impl Tracer {
 
     /// Attach an additional streaming sink (e.g. [`sink::JsonlSink`]).
     /// Every completed span and event is forwarded to it as it is recorded.
-    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+    pub fn add_sink(&self, sink: Box<dyn Sink + Send>) {
         self.inner.borrow_mut().extra.push(sink);
     }
 

@@ -88,7 +88,7 @@ pub const QUERY_LOG_TABLE: &str = "aio_query_log";
 
 /// `aio_metrics` as a relation: one row per registry sample, in
 /// declaration order — exactly [`aio_metrics::MetricsRegistry::snapshot`].
-fn metrics_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
+pub(crate) fn metrics_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
     let schema = Schema::new(vec![
         Column::new("name", DataType::Text),
         Column::new("kind", DataType::Text),
@@ -114,7 +114,7 @@ fn metrics_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
 /// oldest first.
 ///
 /// [`QueryReport`]: aio_metrics::QueryReport
-fn query_log_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
+pub(crate) fn query_log_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
     let schema = Schema::new(vec![
         Column::new("seq", DataType::Int),
         Column::new("sql_hash", DataType::Text),
@@ -133,6 +133,8 @@ fn query_log_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
         Column::new("par", DataType::Int),
         Column::new("exec", DataType::Text),
         Column::new("optimizer", DataType::Text),
+        Column::new("session", DataType::Int),
+        Column::new("generation", DataType::Int),
     ]);
     let mut rel = Relation::new(schema);
     for q in reg.query_log() {
@@ -155,6 +157,8 @@ fn query_log_relation(reg: &aio_metrics::MetricsRegistry) -> Relation {
                 Value::from(q.par as i64),
                 Value::from(q.exec),
                 Value::from(q.optimizer),
+                Value::from(q.session as i64),
+                Value::from(q.generation as i64),
             ]
             .into_boxed_slice(),
         );
@@ -181,6 +185,11 @@ pub struct Database {
     /// began but never logged its end-of-run commit. Consumed by
     /// [`Database::resume_interrupted`] / [`Database::discard_interrupted`].
     pending_resume: Option<InterruptedRun>,
+    /// Session the current statement is attributed to in the query log
+    /// (0 = the database handle itself). Set by
+    /// [`Session::execute`](crate::session::Session::execute) around
+    /// forwarded writes.
+    pub(crate) session_id: u64,
 }
 
 impl Database {
@@ -193,7 +202,15 @@ impl Database {
             params: HashMap::new(),
             tracer: None,
             pending_resume: None,
+            session_id: 0,
         }
+    }
+
+    /// Swap this database's parameter bindings wholesale (sessions install
+    /// their own bindings around forwarded writes and restore the writer's
+    /// afterwards).
+    pub(crate) fn swap_params(&mut self, params: HashMap<String, Value>) -> HashMap<String, Value> {
+        std::mem::replace(&mut self.params, params)
     }
 
     /// Open (or create) a durable database rooted at directory `path` on
@@ -385,12 +402,20 @@ impl Database {
     /// to the global query log.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         self.refresh_system_tables(sql);
+        let watcher = crate::session::spawn_armed_watcher(&mut self.catalog);
         if !aio_metrics::enabled() {
-            return self.execute_inner(sql);
+            let result = self.execute_inner(sql);
+            if let Some(w) = watcher {
+                w.finish();
+            }
+            return result;
         }
         let started = Instant::now();
         let before = aio_metrics::local_counters();
         let mut result = self.execute_inner(sql);
+        if let Some(w) = watcher {
+            w.finish();
+        }
         let cache = aio_metrics::local_counters().delta_since(&before);
         if let Ok(out) = &mut result {
             out.stats.cache = cache;
@@ -407,6 +432,8 @@ impl Database {
                 par: self.profile.parallelism as u64,
                 exec: self.profile.exec.label(),
                 optimizer: self.profile.optimizer.label(),
+                session: self.session_id,
+                generation: self.catalog.generation(),
             });
         }
         result

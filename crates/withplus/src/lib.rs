@@ -35,6 +35,7 @@ pub mod lexer;
 pub mod lower;
 pub mod parser;
 pub mod psm;
+pub mod session;
 pub mod sql99;
 pub mod translate;
 
@@ -44,4 +45,8 @@ pub use db::{Database, ExplainOutput, METRICS_TABLE, QUERY_LOG_TABLE};
 pub use error::{Result, WithPlusError};
 pub use parser::{Parser, Statement};
 pub use psm::{IterStat, QueryResult, RunStats, SubqueryIterStat};
+pub use session::{
+    arm_concurrent_reader, disarm_concurrent_reader, take_concurrent_report,
+    ConcurrentReaderReport, Session, SharedDatabase,
+};
 pub use sql99::{FeatureMatrix, Sql99Engine};

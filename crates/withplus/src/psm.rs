@@ -319,13 +319,16 @@ impl<'a> PsmRunner<'a> {
         Ok(())
     }
 
-    /// Commit the open durable-WAL transaction at a fixpoint iteration
-    /// boundary. No-op on in-memory catalogs.
+    /// Commit the open transaction at a fixpoint iteration boundary. On a
+    /// durable catalog this syncs the WAL; on any catalog it is an MVCC
+    /// generation boundary, so pinned snapshot readers watch the fixpoint
+    /// converge one committed iteration at a time.
     fn wal_commit_iter_point(&mut self, rec: &str, iters_done: u64) -> Result<()> {
-        if !self.catalog.is_durable() {
-            return Ok(());
-        }
-        let span = aio_trace::maybe_span(self.tracer, "wal_append");
+        let span = if self.catalog.is_durable() {
+            aio_trace::maybe_span(self.tracer, "wal_append")
+        } else {
+            None
+        };
         let (records, bytes) = self.catalog.wal_commit_iter(rec, iters_done)?;
         if let Some(s) = &span {
             s.field("iters_done", iters_done);

@@ -140,6 +140,50 @@ fn columnar_equivalence_full_matrix() {
     println!("columnar matrix: {}", report.summary());
 }
 
+/// Tier-1 sessions smoke: the natively-covered algorithms additionally run
+/// through a session-armed execution — a concurrent snapshot reader polls
+/// pinned MVCC generations while each with+ fixpoint converges — and the
+/// final answers must be row-identical to the serial executors. Any
+/// isolation anomaly the reader observes surfaces as a divergence.
+#[test]
+fn sessions_matrix_smoke() {
+    let corpus: Vec<_> = corpus_graphs()
+        .into_iter()
+        .filter(|g| g.name == "erdos-renyi" || g.name == "citation-dag")
+        .collect();
+    let cfg = MatrixConfig::sessions_smoke();
+    let report = run_matrix(&corpus, &cfg);
+    assert_clean(&report);
+    // the axis actually added session runs (and their comparisons) on top
+    // of the plain matrix
+    let serial = run_matrix(&corpus, &MatrixConfig { sessions: false, ..cfg });
+    assert!(
+        report.runs > serial.runs,
+        "sessions axis added no runs: {} vs {}",
+        report.runs,
+        serial.runs
+    );
+    assert!(report.comparisons > serial.comparisons, "{}", report.summary());
+}
+
+/// The full sessions matrix: every implemented Table 2 algorithm through a
+/// Session with a concurrent snapshot reader, over the whole corpus, zero
+/// divergences. Heavyweight — `./ci.sh full` territory.
+#[test]
+#[ignore = "full sessions matrix: run via ./ci.sh full"]
+fn sessions_full_matrix() {
+    let corpus = corpus_graphs();
+    let report = run_matrix(&corpus, &MatrixConfig::sessions_full());
+    assert_clean(&report);
+    assert!(
+        report.algorithms.len() >= 10,
+        "only {} algorithms ran: {:?}",
+        report.algorithms.len(),
+        report.algorithms
+    );
+    println!("sessions matrix: {}", report.summary());
+}
+
 /// Metamorphic smoke: one relation per algorithm on one family.
 #[test]
 fn metamorphic_smoke() {
