@@ -4,9 +4,11 @@
 #   ./ci.sh        tier-1: build, the default (smoke) test suite, clippy
 #   ./ci.sh full   additionally runs every #[ignore]d heavyweight test:
 #                  the full differential matrix, the metamorphic sweep,
-#                  the exhaustive crash-point sweep (every mutating fs op
-#                  × three unsynced-byte fates), and any other
-#                  long-running suites (~ a few minutes)
+#                  the incremental-vs-recompute IVM matrix, the
+#                  exhaustive crash-point sweeps (every mutating fs op
+#                  × three unsynced-byte fates, with and without
+#                  maintained views), and any other long-running suites
+#                  (~ a few minutes)
 #
 # The smoke suite already includes the strided crash sweep
 # (tests/crash_recovery.rs, AIO_CRASH_STRIDE=3), corruption fuzzing and
@@ -110,6 +112,25 @@ grep -q '"overhead_verdict"' "$mvcc_dir/BENCH_mvcc.json"
 grep -q '"starvation_verdict"' "$mvcc_dir/BENCH_mvcc.json"
 rm -rf "$mvcc_dir"
 
+# incremental smoke: the view-maintenance A/B must run at reduced scale,
+# take the frontier (wcc) and re-converge (pagerank) paths with answers
+# equal to the cold recompute (asserted inside the binary), and emit a
+# well-formed BENCH_incremental.json. The incremental-vs-recompute
+# differential suite (tests/ivm_differential.rs) and the strided IVM
+# crash sweep are part of the default `cargo test` above; the ≥5x / ≥2x
+# refresh-speedup bars are only meaningful at full scale and are
+# enforced by `./ci.sh full`.
+ivm_dir="$(mktemp -d)"
+(cd "$ivm_dir" && "$repro_bin" incremental --scale 0.02) |
+    tee "$ivm_dir/incremental.out"
+grep -q "frontier" "$ivm_dir/incremental.out"
+grep -q "reconverge" "$ivm_dir/incremental.out"
+grep -q "speedup" "$ivm_dir/incremental.out"
+test -s "$ivm_dir/BENCH_incremental.json"
+grep -q '"experiment": "incremental"' "$ivm_dir/BENCH_incremental.json"
+grep -q '"verdict"' "$ivm_dir/BENCH_incremental.json"
+rm -rf "$ivm_dir"
+
 # metrics smoke: the metrics layer must export valid Prometheus
 # exposition + JSON and the engine must be able to query its own
 # aio_metrics / aio_query_log system tables (all asserted inside the
@@ -168,4 +189,14 @@ if [ "$mode" = full ]; then
     echo "$mvcc_out" | grep -q "≤15% bar: PASS"
     echo "$mvcc_out" | grep -q "starvation-freedom bar: PASS"
     test -s BENCH_mvcc.json
+
+    # incremental bars at full scale: a 1k-edge insert batch on the
+    # 1M-edge power-law graph refreshes the WCC view ≥5x faster than a
+    # cold rebuild and re-converges the PageRank view ≥2x faster
+    # (BENCH_incremental.json).
+    ivm_out="$(cargo run --release -p aio-bench --bin repro -- incremental)"
+    echo "$ivm_out"
+    echo "$ivm_out" | grep -q ">=5x: PASS"
+    echo "$ivm_out" | grep -q ">=2x: PASS"
+    test -s BENCH_incremental.json
 fi

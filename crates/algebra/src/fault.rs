@@ -13,6 +13,7 @@ use std::cell::Cell;
 thread_local! {
     static UBU_OFF_BY_ONE: Cell<bool> = const { Cell::new(false) };
     static WCOJ_SEEK_OFF_BY_ONE: Cell<bool> = const { Cell::new(false) };
+    static IVM_SEED_OFF_BY_ONE: Cell<bool> = const { Cell::new(false) };
     static HITS: Cell<u64> = const { Cell::new(0) };
 }
 
@@ -56,6 +57,35 @@ pub(crate) fn note_wcoj_hit() {
 /// How many times the armed fault actually fired since arming.
 pub fn fault_hits() -> u64 {
     HITS.with(|h| h.get())
+}
+
+/// Arm (or disarm) the IVM delta-seeding off-by-one on this thread: the
+/// seed relation an incremental view refresh resumes from loses its final
+/// row — the same `< n - 1` loop-bound bug as [`inject_ubu_off_by_one`],
+/// planted in the seeding path so the testkit can prove the
+/// incremental-vs-recompute matrix has teeth. Arming resets the hit
+/// counter.
+pub fn inject_ivm_seed_off_by_one(enabled: bool) {
+    IVM_SEED_OFF_BY_ONE.with(|f| f.set(enabled));
+    if enabled {
+        HITS.with(|h| h.set(0));
+    }
+}
+
+/// Whether the IVM seed fault is currently armed on this thread.
+pub fn ivm_fault_armed() -> bool {
+    IVM_SEED_OFF_BY_ONE.with(|f| f.get())
+}
+
+/// Applied by the IVM runner to the freshly computed seed before resuming
+/// semi-naive iteration: when armed, truncate off the final row. Public
+/// because the seeding path lives in `aio-withplus`.
+pub fn clip_ivm_seed(seed: &mut aio_storage::Relation) {
+    if ivm_fault_armed() && !seed.is_empty() {
+        let n = seed.len() - 1;
+        seed.rows_mut().truncate(n);
+        HITS.with(|h| h.set(h.get() + 1));
+    }
 }
 
 /// Applied by `union_by_update` to its delta before merging: when armed,

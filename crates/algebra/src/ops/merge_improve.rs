@@ -1,0 +1,180 @@
+//! Improve-only keyed merge — the IVM refresh kernel for monotone
+//! union-by-update fixpoints (WCC/SSSP-class).
+//!
+//! Stock union-by-update has *replace* semantics: a matching delta row
+//! overwrites the target row unconditionally. That is correct inside a full
+//! fixpoint run, where every delta row is derived from the complete frontier
+//! and therefore never worse than what it replaces. An incremental refresh
+//! re-derives rows from a *partial* frontier (only the neighborhood of the
+//! edge delta), so a re-derived value can be worse than the retained one —
+//! replacing would un-converge rows the delta never touched. The fix is to
+//! merge with the fixpoint's own ⊕: keep whichever value is better under
+//! the view's min/max aggregate. For min/max path propagation this
+//! converges to the same least fixpoint as a cold run, bit-exactly, because
+//! `min`/`max` over the same derivation set is order-insensitive.
+
+use crate::error::{AlgebraError, Result};
+use crate::stats::ExecStats;
+use aio_storage::{Catalog, FxHashMap, Key, Relation};
+
+/// Merge `delta` into `target` keyed on `key_cols`, keeping per key the
+/// better of (existing, incoming) under `value_col` — smaller wins when
+/// `min`, larger when `max`. Unmatched delta keys insert. Returns the rows
+/// that actually changed the target (inserted or improved) — the next
+/// frontier of a resumed semi-naive iteration — deduplicated to the best
+/// row per key, in first-appearance key order.
+pub fn ubu_merge_improve(
+    catalog: &mut Catalog,
+    target: &str,
+    delta: Relation,
+    key_cols: &[usize],
+    value_col: usize,
+    min: bool,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
+    stats.union_by_updates += 1;
+    let arity = catalog.relation(target)?.schema().arity();
+    if arity != delta.schema().arity() {
+        return Err(AlgebraError::Plan(format!(
+            "merge-improve arity mismatch: {} vs {}",
+            arity,
+            delta.schema().arity()
+        )));
+    }
+    let better = |a: &aio_storage::Value, b: &aio_storage::Value| {
+        if min { a < b } else { a > b }
+    };
+
+    // Pre-reduce the delta to its best row per key, preserving the order
+    // keys first appear: the frontier must be deterministic regardless of
+    // how the partial evaluation enumerated derivations.
+    let mut best: FxHashMap<Key, usize> = FxHashMap::default();
+    let mut key_order: Vec<Key> = Vec::new();
+    for (i, row) in delta.rows().iter().enumerate() {
+        let k = Key::of(row, key_cols);
+        match best.get_mut(&k) {
+            None => {
+                best.insert(k.clone(), i);
+                key_order.push(k);
+            }
+            Some(j) => {
+                if better(&row[value_col], &delta.rows()[*j][value_col]) {
+                    *j = i;
+                }
+            }
+        }
+    }
+
+    let positions = {
+        let t = catalog.relation(target)?;
+        t.unique_key_map(key_cols).map_err(|e| {
+            AlgebraError::Plan(format!("merge-improve target {target}: {e}"))
+        })?
+    };
+
+    let mut frontier = Relation::new(delta.schema().clone());
+    let mut inserts: Vec<aio_storage::Row> = Vec::new();
+    {
+        let t = catalog.relation_mut(target)?;
+        for k in &key_order {
+            let di = best[k];
+            let row = &delta.rows()[di];
+            match positions.get(k) {
+                Some(&ti) => {
+                    if better(&row[value_col], &t.rows()[ti][value_col]) {
+                        t.rows_mut()[ti] = row.clone();
+                        frontier.push(row.clone())?;
+                    }
+                }
+                None => {
+                    inserts.push(row.clone());
+                    frontier.push(row.clone())?;
+                }
+            }
+        }
+        for r in inserts {
+            t.push(r)?;
+        }
+    }
+    catalog.entry_mut(target)?.indexes.clear();
+    stats.rows_produced += frontier.len() as u64;
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aio_storage::{node_schema, row};
+
+    fn setup(target_rows: &[(i64, f64)]) -> Catalog {
+        let mut c = Catalog::new();
+        let mut r = Relation::with_pk(node_schema(), &["ID"]).unwrap();
+        for &(id, w) in target_rows {
+            r.push(row![id, w]).unwrap();
+        }
+        c.create_temp("V", r).unwrap();
+        c
+    }
+
+    fn delta(rows: &[(i64, f64)]) -> Relation {
+        let mut d = Relation::new(node_schema());
+        for &(id, w) in rows {
+            d.push(row![id, w]).unwrap();
+        }
+        d
+    }
+
+    fn contents(c: &Catalog) -> Vec<(i64, f64)> {
+        let mut v: Vec<(i64, f64)> = c
+            .relation("V")
+            .unwrap()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_f64().unwrap()))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn improves_inserts_and_ignores_worse() {
+        let mut c = setup(&[(1, 5.0), (2, 2.0), (3, 1.0)]);
+        let d = delta(&[(1, 3.0), (2, 9.0), (4, 4.0)]);
+        let mut s = ExecStats::new();
+        let front = ubu_merge_improve(&mut c, "V", d, &[0], 1, true, &mut s).unwrap();
+        // 1 improved (3 < 5), 2 ignored (9 > 2), 4 inserted
+        assert_eq!(contents(&c), vec![(1, 3.0), (2, 2.0), (3, 1.0), (4, 4.0)]);
+        let ids: Vec<i64> = front.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 4]);
+    }
+
+    #[test]
+    fn max_direction_flips_comparison() {
+        let mut c = setup(&[(1, 5.0)]);
+        let d = delta(&[(1, 3.0), (1, 8.0)]);
+        let mut s = ExecStats::new();
+        let front = ubu_merge_improve(&mut c, "V", d, &[0], 1, false, &mut s).unwrap();
+        assert_eq!(contents(&c), vec![(1, 8.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_delta_keys_reduced_to_best() {
+        let mut c = setup(&[(1, 5.0)]);
+        let d = delta(&[(1, 4.0), (1, 2.0), (1, 3.0)]);
+        let mut s = ExecStats::new();
+        let front = ubu_merge_improve(&mut c, "V", d, &[0], 1, true, &mut s).unwrap();
+        assert_eq!(contents(&c), vec![(1, 2.0)]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.rows()[0][1].as_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn empty_frontier_when_nothing_improves() {
+        let mut c = setup(&[(1, 1.0), (2, 2.0)]);
+        let d = delta(&[(1, 1.0), (2, 5.0)]);
+        let mut s = ExecStats::new();
+        let front = ubu_merge_improve(&mut c, "V", d, &[0], 1, true, &mut s).unwrap();
+        assert!(front.is_empty(), "ties and regressions are not changes");
+        assert_eq!(contents(&c), vec![(1, 1.0), (2, 2.0)]);
+    }
+}

@@ -6,6 +6,7 @@ pub mod anti_join;
 pub mod basic;
 pub mod groupby;
 pub mod join;
+pub mod merge_improve;
 pub mod union_by_update;
 
 pub use aggjoin::{mm_join, mm_join_basic_ops, mv_join, MvOrientation};
@@ -18,4 +19,5 @@ pub use basic::{
 };
 pub use groupby::{group_by, group_by_par, window};
 pub use join::{join, join_on, join_par, last_join_phases, JoinKeys, JoinOrders, JoinPhases, JoinType};
+pub use merge_improve::ubu_merge_improve;
 pub use union_by_update::{union_by_update, UbuImpl};

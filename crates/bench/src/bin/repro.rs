@@ -36,6 +36,11 @@
 //!             of {1, 4, 16} pinned reader sessions; not part of `all`,
 //!             emits BENCH_mvcc.json; --scale is relative to 1M edges and
 //!             defaults to 1.0)
+//!             incremental (incremental view maintenance A/B: WCC and
+//!             PageRank views absorb a ~1k-edge batch via apply_edges vs
+//!             a cold view rebuild; not part of `all`, emits
+//!             BENCH_incremental.json; --scale is relative to 1M edges
+//!             and defaults to 1.0)
 //! explain <algo> : EXPLAIN ANALYZE one algorithm (pagerank | tc | sssp |
 //!             wcc) — prints the annotated plan tree + per-iteration
 //!             convergence and writes TRACE_<algo>.json (Perfetto) and
@@ -116,6 +121,7 @@ fn main() {
                 exp::metrics_overhead(if scale_given { scale } else { 1.0 })
             }
             "mvcc" => exp::mvcc(if scale_given { scale } else { 1.0 }),
+            "incremental" => exp::incremental(if scale_given { scale } else { 1.0 }),
             other => {
                 eprintln!("unknown experiment: {other}");
                 continue;
@@ -137,7 +143,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S]\n\
          \x20      repro explain <pagerank|tc|sssp|wcc> [--scale S]\n\
-         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer columnar wcoj durability metrics metrics_overhead mvcc"
+         experiments: table1 table2 table3 table4_5 table6_7 fig7 fig8 fig10 fig11 fig12 fig13 all scaling trace_overhead optimizer columnar wcoj durability metrics metrics_overhead mvcc incremental"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1648,11 +1648,225 @@ pub fn mvcc(scale: f64) -> String {
     )
 }
 
+/// `incremental` — incremental view maintenance vs cold recompute. A WCC
+/// view absorbs a ~1k-edge insert batch through `apply_edges` (frontier
+/// merge-improve; ≥5× bar) and a PageRank view re-converges from its
+/// previous fixpoint after the same batch re-weights the touched sources
+/// (≥2× bar), each timed against rebuilding the view from scratch on the
+/// post-batch table. `scale` is relative to 1M edges. Emits
+/// BENCH_incremental.json.
+pub fn incremental(scale: f64) -> String {
+    use aio_storage::{row, Row};
+    use aio_withplus::{Database, EdgeDelta};
+    use std::collections::BTreeMap;
+
+    let edges = ((1.0e6 * scale) as usize).max(10_000);
+    let nodes = (edges / 10).max(100);
+    let batch = (edges / 1000).max(50);
+    let g = aio_graph::generate(aio_graph::GraphKind::PowerLaw, nodes, edges, true, 61);
+
+    // `batch` brand-new random edges (deterministic xorshift64*)
+    let mut s: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut new_edges: Vec<(u32, u32)> = Vec::with_capacity(batch);
+    while new_edges.len() < batch {
+        let u = (next() % nodes as u64) as u32;
+        let v = (next() % nodes as u64) as u32;
+        if u != v {
+            new_edges.push((u, v));
+        }
+    }
+
+    const WCC_SQL: &str = "with C(ID, vw) as (\
+                             (select V.ID, 1.0 * V.ID from V) \
+                             union by update ID \
+                             (select E.T, min(C.vw * E.ew) from C, E \
+                              where C.ID = E.F group by E.T)) \
+                           select * from C";
+    const PR_SQL: &str = "with P(ID, W) as (\
+                            (select V.ID, 0.0 from V) \
+                            union by update ID \
+                            (select E.T, :c * sum(P.W * E.ew) + (1 - :c) / :n from P, E \
+                             where P.ID = E.F group by E.T)) \
+                          select ID, W from P";
+    const PR_EPSILON: f64 = 1e-6;
+
+    // WCC treats the digraph as undirected: forward + reverse + self-loops.
+    let wcc_db = || -> Database {
+        let mut db = db_for(&g, &oracle_like(), EdgeStyle::WithLoops(1.0)).expect("wcc db");
+        let extra: Vec<Row> =
+            g.edges().map(|(u, v, w)| row![v as i64, u as i64, w]).collect();
+        db.catalog.relation_mut("E").expect("E").rows_mut().extend(extra);
+        db
+    };
+    let wcc_delta = || {
+        let adds: Vec<Row> = new_edges
+            .iter()
+            .flat_map(|&(u, v)| [row![u as i64, v as i64, 1.0], row![v as i64, u as i64, 1.0]])
+            .collect();
+        EdgeDelta::insert("E", adds)
+    };
+
+    // The batch re-weights every out-edge of a touched PageRank source.
+    let pr_db = || -> Database {
+        let mut db = db_for(&g, &oracle_like(), EdgeStyle::PageRank).expect("pr db");
+        db.set_param("c", 0.85);
+        db.set_param("n", nodes as f64);
+        db
+    };
+    let pr_delta = || {
+        let mut by_src: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for &(u, v) in &new_edges {
+            by_src.entry(u).or_default().push(v);
+        }
+        let (mut adds, mut dels) = (Vec::new(), Vec::new());
+        for (&u, tgts) in &by_src {
+            let d_old = g.out_degree(u);
+            if d_old > 0 {
+                let w_old = 1.0 / d_old as f64;
+                for &v in g.neighbors(u) {
+                    dels.push(row![u as i64, v as i64, w_old]);
+                }
+            }
+            let w_new = 1.0 / (d_old + tgts.len()) as f64;
+            for &v in g.neighbors(u) {
+                adds.push(row![u as i64, v as i64, w_new]);
+            }
+            for &v in tgts {
+                adds.push(row![u as i64, v as i64, w_new]);
+            }
+        }
+        EdgeDelta::new("E", adds, dels)
+    };
+
+    let sorted = |rel: &aio_storage::Relation| -> Vec<Row> {
+        let mut rows: Vec<Row> = rel.iter().cloned().collect();
+        rows.sort();
+        rows
+    };
+
+    // best-of-2 on fresh databases per rep (a refresh consumes its state)
+    let reps = 2;
+    struct Arm {
+        refresh_ms: f64,
+        recompute_ms: f64,
+        mode: String,
+        iterations: u64,
+        live: Vec<Row>,
+        cold: Vec<Row>,
+    }
+    let measure = |make: &dyn Fn() -> Database, sql: &str, eps: f64, delta: &dyn Fn() -> EdgeDelta| -> Arm {
+        let mut refresh_ms = f64::INFINITY;
+        let mut mode = String::new();
+        let mut iterations = 0u64;
+        let mut live = Vec::new();
+        for _ in 0..reps {
+            let mut db = make();
+            db.create_view_with("cv", sql, eps).expect("warm build");
+            let d = delta();
+            let t0 = Instant::now();
+            db.apply_edges(vec![d]).expect("refresh");
+            refresh_ms = refresh_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            let rep = db.view_report("cv").expect("refreshed view has a report");
+            mode = rep.mode.label().to_string();
+            iterations = rep.iterations as u64;
+            live = sorted(db.view_relation("cv").expect("view"));
+        }
+        let mut recompute_ms = f64::INFINITY;
+        let mut cold = Vec::new();
+        for _ in 0..reps {
+            let mut db = make();
+            // same post-batch base table, no view registered yet
+            db.apply_edges(vec![delta()]).expect("base delta");
+            let t0 = Instant::now();
+            db.create_view_with("cv", sql, eps).expect("cold build");
+            recompute_ms = recompute_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            cold = sorted(db.view_relation("cv").expect("view"));
+        }
+        Arm { refresh_ms, recompute_ms, mode, iterations, live, cold }
+    };
+
+    let wcc = measure(&wcc_db, WCC_SQL, 1e-9, &wcc_delta);
+    assert_eq!(wcc.mode, "frontier", "insert-only wcc batch must take the frontier path");
+    assert_eq!(wcc.live, wcc.cold, "wcc refresh must equal the cold recompute");
+
+    let pr = measure(&pr_db, PR_SQL, PR_EPSILON, &pr_delta);
+    assert_eq!(pr.mode, "reconverge", "pagerank must re-converge from its state");
+    assert_eq!(pr.live.len(), pr.cold.len(), "pagerank key sets must match");
+    for (a, b) in pr.live.iter().zip(&pr.cold) {
+        assert_eq!(a[0], b[0], "pagerank key sets must match");
+        let (x, y) = (a[1].as_f64().unwrap_or(0.0), b[1].as_f64().unwrap_or(0.0));
+        // both runs stop within PR_EPSILON of the fixpoint; their gap is
+        // bounded by eps / (1 - c) with a safety factor
+        assert!(
+            (x - y).abs() <= 1e-4,
+            "pagerank refresh diverges from recompute at key {:?}: {x} vs {y}",
+            a[0]
+        );
+    }
+
+    let wcc_speedup = wcc.recompute_ms / wcc.refresh_ms.max(1e-9);
+    let pr_speedup = pr.recompute_ms / pr.refresh_ms.max(1e-9);
+    let wcc_verdict = if wcc_speedup >= 5.0 { "PASS" } else { "FAIL" };
+    let pr_verdict = if pr_speedup >= 2.0 { "PASS" } else { "FAIL" };
+
+    let json = format!(
+        "{{\n  \"experiment\": \"incremental\",\n  \"edges\": {edges},\n  \"nodes\": {nodes},\n  \
+         \"batch_edges\": {batch},\n  \
+         \"wcc\": {{\"refresh_ms\": {:.3}, \"recompute_ms\": {:.3}, \"speedup\": {:.3}, \
+         \"mode\": \"{}\", \"iterations\": {}, \"threshold\": 5.0, \"verdict\": \"{}\"}},\n  \
+         \"pagerank\": {{\"refresh_ms\": {:.3}, \"recompute_ms\": {:.3}, \"speedup\": {:.3}, \
+         \"mode\": \"{}\", \"iterations\": {}, \"epsilon\": {PR_EPSILON:e}, \
+         \"threshold\": 2.0, \"verdict\": \"{}\"}}\n}}\n",
+        wcc.refresh_ms, wcc.recompute_ms, wcc_speedup, wcc.mode, wcc.iterations, wcc_verdict,
+        pr.refresh_ms, pr.recompute_ms, pr_speedup, pr.mode, pr.iterations, pr_verdict,
+    );
+    let json_note = match std::fs::write("BENCH_incremental.json", &json) {
+        Ok(()) => "results written to BENCH_incremental.json".to_string(),
+        Err(err) => format!("could not write BENCH_incremental.json: {err}"),
+    };
+
+    format!(
+        "Incremental maintenance — apply_edges refresh vs cold recompute, \
+         E({edges})/V({nodes}) power-law, one {batch}-edge insert batch\n\n\
+         wcc      : refresh ({:>10}) {:>9.1} ms  vs recompute {:>9.1} ms  \
+         speedup {wcc_speedup:>6.1}x  (bar >=5x: {wcc_verdict})\n\
+         pagerank : refresh ({:>10}) {:>9.1} ms  vs recompute {:>9.1} ms  \
+         speedup {pr_speedup:>6.1}x  (bar >=2x: {pr_verdict})\n\n\
+         {json_note}\n",
+        wcc.mode, wcc.refresh_ms, wcc.recompute_ms,
+        pr.mode, pr.refresh_ms, pr.recompute_ms,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const TINY: f64 = 0.0002;
+
+    #[test]
+    fn incremental_ab_runs_at_tiny_scale() {
+        // 10k-edge floor; asserts inside `incremental` already check that
+        // the refreshed views equal the cold recompute and that wcc takes
+        // the frontier path / pagerank re-converges (the ≥5x and ≥2x
+        // gates are only meaningful at full scale, so don't assert PASS)
+        let out = incremental(0.0);
+        assert!(out.contains("frontier"), "{out}");
+        assert!(out.contains("reconverge"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
+        assert!(
+            std::fs::metadata("BENCH_incremental.json").map(|m| m.len() > 0).unwrap_or(false),
+            "BENCH_incremental.json missing or empty"
+        );
+        // tiny-scale artifact; the committed one comes from `repro incremental`
+        let _ = std::fs::remove_file("BENCH_incremental.json");
+    }
 
     #[test]
     fn static_tables_render() {

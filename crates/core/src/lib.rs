@@ -70,7 +70,8 @@ pub mod prelude {
     };
     pub use aio_trace::{Trace, Tracer};
     pub use aio_withplus::{
-        Database, ExplainOutput, QueryResult, RunStats, Session, SharedDatabase, WithPlusError,
+        Database, EdgeDelta, ExplainOutput, QueryResult, RefreshReport, ResultDelta, RunStats,
+        Session, SharedDatabase, WithPlusError,
     };
 }
 

@@ -276,6 +276,12 @@ engine_metrics! {
     mvcc_pinned_current: Gauge => "snapshot pins currently held by readers";
     mvcc_cow_clones_total: Counter => "table entries cloned by copy-on-write before a writer mutation";
     mvcc_cow_rows_total: Counter => "rows copied by copy-on-write entry clones";
+    // incremental view maintenance
+    ivm_refreshes_total: Counter => "materialized-view refreshes triggered by edge deltas";
+    ivm_full_fallbacks_total: Counter => "view refreshes that fell back to a full recompute";
+    ivm_base_delta_rows_total: Counter => "edge-delta rows (adds + deletes) applied to base tables";
+    ivm_result_delta_rows_total: Counter => "result-delta rows (added + removed + changed) emitted by view refreshes";
+    ivm_refresh_ms: Histogram => "per-view incremental refresh duration in milliseconds";
 }
 
 // ---------------------------------------------------------------------------
@@ -736,6 +742,31 @@ pub mod hooks {
         let m = &global().engine;
         m.mvcc_cow_clones_total.add_raw(1);
         m.mvcc_cow_rows_total.add_raw(rows);
+    }
+
+    /// An edge-delta batch landed on a base table.
+    #[inline]
+    pub fn ivm_base_delta(adds: u64, dels: u64) {
+        if !enabled() {
+            return;
+        }
+        global().engine.ivm_base_delta_rows_total.add_raw(adds + dels);
+    }
+
+    /// One materialized view refreshed. `fallback` marks a full recompute;
+    /// `result_delta_rows` counts added + removed + changed output rows.
+    #[inline]
+    pub fn ivm_refresh(fallback: bool, result_delta_rows: u64, ms: u64) {
+        if !enabled() {
+            return;
+        }
+        let m = &global().engine;
+        m.ivm_refreshes_total.add_raw(1);
+        if fallback {
+            m.ivm_full_fallbacks_total.add_raw(1);
+        }
+        m.ivm_result_delta_rows_total.add_raw(result_delta_rows);
+        m.ivm_refresh_ms.observe_raw(ms);
     }
 
     #[inline]

@@ -358,6 +358,43 @@ impl Catalog {
         out
     }
 
+    /// Apply a logical edge-delta batch: append `adds`, remove `dels` by
+    /// full-row match (multiset, first occurrence). The IVM ingestion path:
+    /// one `EdgeDelta` WAL record of size O(|delta|) instead of a full
+    /// after-image. Rows in `dels` absent from the table are ignored, so
+    /// replaying the same record is idempotent on the add/remove pairing.
+    /// Returns the number of rows actually removed.
+    pub fn apply_delta(
+        &mut self,
+        name: &str,
+        adds: Vec<Row>,
+        dels: Vec<Row>,
+        policy: WalPolicy,
+    ) -> Result<usize> {
+        self.wal.log_insert(policy, &adds);
+        self.wal.log_insert(policy, &dels);
+        // Validate arity *before* the durable log, as insert_rows does.
+        let expected = self.relation(name)?.schema().arity();
+        if let Some(r) = adds.iter().chain(dels.iter()).find(|r| r.len() != expected) {
+            return Err(StorageError::ArityMismatch { expected, got: r.len() });
+        }
+        if self.durable.is_some() {
+            self.wal_append(wal::enc_edge_delta(&norm(name), &adds, &dels))?;
+        }
+        aio_metrics::hooks::ivm_base_delta(adds.len() as u64, dels.len() as u64);
+        let e = self.entry_mut_keep_stats(name)?;
+        e.stats = None;
+        e.indexes.clear();
+        e.tries.clear();
+        // Adds land before deletes so a batch that inserts and deletes the
+        // same row nets out (insert-then-delete is a no-op).
+        e.rel.extend(adds)?;
+        let removed = e.rel.remove_rows(&dels);
+        self.refresh_size_gauges();
+        self.maybe_autocommit_publish();
+        Ok(removed)
+    }
+
     /// Build (or rebuild) a sorted index on `cols`. Leaves statistics
     /// intact — indexing does not change row contents.
     pub fn build_index(&mut self, name: &str, cols: &[usize]) -> Result<()> {
@@ -779,6 +816,39 @@ mod tests {
         c.drop_table("T").unwrap();
         assert!(c.trie_on("T", &[0, 1]).is_none(), "drop removes the table's tries");
         assert!(c.trie_for("T", &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn apply_delta_adds_removes_and_invalidates() {
+        let mut c = Catalog::new();
+        c.create_table("E", Relation::new(edge_schema())).unwrap();
+        c.insert_rows("E", vec![row![1, 2, 1.0], row![2, 3, 1.0]], WalPolicy::None)
+            .unwrap();
+        c.build_index("E", &[0]).unwrap();
+        let gen_before = c.generation();
+        let removed = c
+            .apply_delta(
+                "E",
+                vec![row![3, 4, 1.0]],
+                vec![row![1, 2, 1.0], row![9, 9, 9.0]],
+                WalPolicy::None,
+            )
+            .unwrap();
+        assert_eq!(removed, 1, "absent delete rows are ignored");
+        let mut got: Vec<(i64, i64)> = c
+            .relation("E")
+            .unwrap()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(2, 3), (3, 4)]);
+        assert!(c.index_on("E", &[0]).is_none(), "delta invalidates indexes");
+        assert!(c.generation() > gen_before, "delta is a commit point");
+        // arity is validated up front
+        assert!(c
+            .apply_delta("E", vec![row![1]], vec![], WalPolicy::None)
+            .is_err());
     }
 
     #[test]

@@ -191,6 +191,15 @@ impl Shadow {
                     .ok_or_else(|| format!("rename of missing table {old}"))?;
                 self.arity.insert(new.clone(), a);
             }
+            WalRecord::EdgeDelta { table, adds, dels } => {
+                let a = *self
+                    .arity
+                    .get(table)
+                    .ok_or_else(|| format!("edge delta on missing table {table}"))?;
+                if adds.iter().chain(dels.iter()).any(|r| r.len() != a) {
+                    return Err(format!("edge delta on {table}: row arity != {a}"));
+                }
+            }
             WalRecord::RunBegin { .. } | WalRecord::Commit(_) => {}
         }
         Ok(())
@@ -225,6 +234,11 @@ fn apply(catalog: &mut Catalog, rec: WalRecord) -> Result<()> {
             let rel = catalog.relation_mut(&table)?;
             rel.truncate();
             rel.extend(rows)?;
+        }
+        WalRecord::EdgeDelta { table, adds, dels } => {
+            let rel = catalog.relation_mut(&table)?;
+            rel.extend(adds)?;
+            rel.remove_rows(&dels);
         }
         WalRecord::RunBegin { .. } | WalRecord::Commit(_) => {}
     }
@@ -594,6 +608,33 @@ mod tests {
         let stats = recovered.stats("V").expect("recomputed");
         assert_eq!(stats.rows, 2);
         assert_eq!(stats.columns[0].ndv, 2);
+    }
+
+    #[test]
+    fn edge_deltas_survive_reopen() {
+        let (_, vfs) = sim();
+        let (mut cat, _) = open(&vfs);
+        cat.create_table("E", Relation::new(edge_schema())).unwrap();
+        cat.insert_rows("E", vec![row![1, 2, 1.0], row![2, 3, 1.0]], WalPolicy::None)
+            .unwrap();
+        cat.apply_delta(
+            "E",
+            vec![row![3, 4, 1.0]],
+            vec![row![1, 2, 1.0]],
+            WalPolicy::None,
+        )
+        .unwrap();
+        let (recovered, report) = open(&vfs);
+        assert!(report.corrupt.is_none(), "{report}");
+        assert!(cat.same_content(&recovered));
+        let mut got: Vec<(i64, i64)> = recovered
+            .relation("E")
+            .unwrap()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(2, 3), (3, 4)]);
     }
 
     #[test]

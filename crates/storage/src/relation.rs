@@ -156,6 +156,30 @@ impl Relation {
         self.rows.clear();
     }
 
+    /// Remove each row in `victims` once (multiset semantics): a victim
+    /// appearing k times removes at most k matching rows. Rows absent from
+    /// the relation are ignored. Returns how many rows were removed.
+    /// First-occurrence order of the survivors is preserved — deletions must
+    /// not reorder a table whose bytes the WAL after-images.
+    pub fn remove_rows(&mut self, victims: &[Row]) -> usize {
+        if victims.is_empty() || self.rows.is_empty() {
+            return 0;
+        }
+        let mut pending: FxHashMap<&Row, usize> = FxHashMap::default();
+        for v in victims {
+            *pending.entry(v).or_insert(0) += 1;
+        }
+        let before = self.rows.len();
+        self.rows.retain(|r| match pending.get_mut(r) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                false
+            }
+            _ => true,
+        });
+        before - self.rows.len()
+    }
+
     /// Verify the declared primary key is actually unique.
     pub fn check_pk(&self) -> Result<()> {
         let Some(pk) = &self.pk else { return Ok(()) };
@@ -400,6 +424,24 @@ mod tests {
         r.sort_by_cols(&[0]);
         let ids: Vec<i64> = r.iter().map(|x| x[0].as_int().unwrap()).collect();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_rows_multiset_first_match() {
+        let mut r = Relation::new(node_schema());
+        r.extend([row![1, 1.0], row![2, 2.0], row![1, 1.0], row![3, 3.0]])
+            .unwrap();
+        // one victim removes only one of the two duplicates
+        let removed = r.remove_rows(&[row![1, 1.0], row![9, 9.0]]);
+        assert_eq!(removed, 1);
+        assert_eq!(r.len(), 3);
+        // duplicate victims remove both copies; survivor order preserved
+        let mut r2 = Relation::new(node_schema());
+        r2.extend([row![1, 1.0], row![2, 2.0], row![1, 1.0], row![3, 3.0]])
+            .unwrap();
+        assert_eq!(r2.remove_rows(&[row![1, 1.0], row![1, 1.0]]), 2);
+        let ids: Vec<i64> = r2.iter().map(|x| x[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![2, 3]);
     }
 
     #[test]

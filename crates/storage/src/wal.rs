@@ -236,6 +236,15 @@ pub enum WalRecord {
         params: Vec<(String, Value)>,
     },
     Commit(CommitKind),
+    /// A batch of edge-level mutations applied to a base table: `adds` are
+    /// appended, `dels` removed by full-row match (multiset, first match).
+    /// Logged logically — unlike `ReplaceRows` this stays O(|delta|), which
+    /// is the whole point of incremental view maintenance.
+    EdgeDelta {
+        table: String,
+        adds: Vec<Row>,
+        dels: Vec<Row>,
+    },
 }
 
 /// Byte codec shared by WAL frames and snapshots.
@@ -491,6 +500,7 @@ const TAG_RENAME: u8 = 5;
 const TAG_REPLACE: u8 = 6;
 const TAG_RUN_BEGIN: u8 = 7;
 const TAG_COMMIT: u8 = 8;
+const TAG_EDGE_DELTA: u8 = 9;
 
 /// Encoders take borrowed views so logging never clones row data.
 pub fn enc_create_table(
@@ -558,6 +568,14 @@ pub fn enc_run_begin(rec: &str, sql: &str, params: &[(String, Value)]) -> Vec<u8
     b
 }
 
+pub fn enc_edge_delta(table: &str, adds: &[Row], dels: &[Row]) -> Vec<u8> {
+    let mut b = vec![TAG_EDGE_DELTA];
+    codec::put_str(&mut b, table);
+    codec::put_rows(&mut b, adds);
+    codec::put_rows(&mut b, dels);
+    b
+}
+
 pub fn enc_commit(kind: &CommitKind) -> Vec<u8> {
     let mut b = vec![TAG_COMMIT];
     match kind {
@@ -609,6 +627,11 @@ pub fn decode_record(payload: &[u8]) -> std::result::Result<WalRecord, String> {
             2 => CommitKind::RunEnd { rec: d.str()? },
             t => return Err(format!("unknown commit kind {t}")),
         }),
+        TAG_EDGE_DELTA => WalRecord::EdgeDelta {
+            table: d.str()?,
+            adds: d.rows()?,
+            dels: d.rows()?,
+        },
         t => return Err(format!("unknown record tag {t}")),
     };
     if !d.done() {
@@ -900,6 +923,18 @@ mod tests {
         ] {
             assert_eq!(roundtrip(enc_commit(&kind)), WalRecord::Commit(kind));
         }
+        assert_eq!(
+            roundtrip(enc_edge_delta("E", &[row![1, 2, 1.0]], &[row![3, 4, 0.5], row![5, 6, 2.0]])),
+            WalRecord::EdgeDelta {
+                table: "E".into(),
+                adds: vec![row![1, 2, 1.0]],
+                dels: vec![row![3, 4, 0.5], row![5, 6, 2.0]],
+            }
+        );
+        assert_eq!(
+            roundtrip(enc_edge_delta("E", &[], &[])),
+            WalRecord::EdgeDelta { table: "E".into(), adds: vec![], dels: vec![] }
+        );
     }
 
     #[test]

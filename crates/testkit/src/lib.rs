@@ -20,6 +20,10 @@
 //!   per-iteration divergence localization via PSM state snapshots;
 //! * [`meta`] — metamorphic relations (vertex relabeling, edge-order
 //!   shuffling, isolated-vertex addition);
+//! * [`ivm`] — the incremental-vs-recompute matrix for live graphs:
+//!   mutation scripts applied through `Database::apply_edges`, with the
+//!   maintained view checked against a cold rebuild after every batch,
+//!   plus batch-metamorphic relations and seed-fault shrinking;
 //! * [`patterns`] — the cyclic-pattern differential layer pitting the
 //!   worst-case-optimal multiway join against forced binary join trees
 //!   and the optimizer sweep on triangle/4-cycle/diamond/clique queries;
@@ -34,6 +38,7 @@
 pub mod corpus;
 pub mod diff;
 pub mod exec;
+pub mod ivm;
 pub mod meta;
 pub mod mvcc;
 pub mod patterns;
@@ -44,6 +49,11 @@ pub use corpus::{corpus_graphs, NamedGraph};
 pub use diff::{run_matrix, Divergence, MatrixConfig, MatrixReport};
 pub use exec::{
     executors_for, executors_for_cfg, executors_for_opt, run_algo, ExecKind, Executor, Params,
+};
+pub use ivm::{
+    check_batch_metamorphic as check_ivm_metamorphic, check_net_zero_batch, ivm_corpus,
+    run_ivm_case, run_ivm_matrix, scripts_for, shrink_ivm_case, IvmDivergence, IvmMatrixConfig,
+    IvmMatrixReport, MutationScript, IVM_ALGOS,
 };
 pub use meta::{check_metamorphic, MetaRelation, META_ALGOS};
 pub use patterns::{

@@ -34,7 +34,7 @@ pub struct ExplainOutput {
 /// Runs exactly once per statement, before the PSM loop — never per
 /// iteration — so EXPLAIN ANALYZE can re-derive the executed plans from
 /// the same (plan, statistics) inputs.
-fn optimize_compiled(
+pub(crate) fn optimize_compiled(
     mut c: CompiledWithPlus,
     catalog: &Catalog,
     level: Optimizer,
@@ -176,11 +176,11 @@ pub struct Database {
     /// Physical spelling of anti-join (Tables 6 & 7). Default:
     /// `left outer join`, the paper's pick after Exp-1.
     pub anti_impl: AntiJoinImpl,
-    params: HashMap<String, Value>,
+    pub(crate) params: HashMap<String, Value>,
     /// When set, every execution records hierarchical spans into it
     /// (per-operator, per-subquery, per-iteration). `None` (the default)
     /// costs one branch per plan node.
-    tracer: Option<Tracer>,
+    pub(crate) tracer: Option<Tracer>,
     /// Set by [`Database::open`] when recovery found a with+ run that
     /// began but never logged its end-of-run commit. Consumed by
     /// [`Database::resume_interrupted`] / [`Database::discard_interrupted`].
@@ -190,6 +190,9 @@ pub struct Database {
     /// [`Session::execute`](crate::session::Session::execute) around
     /// forwarded writes.
     pub(crate) session_id: u64,
+    /// Materialized views maintained incrementally by
+    /// [`Database::apply_edges`](crate::ivm), in registration order.
+    pub(crate) views: Vec<crate::ivm::ViewDef>,
 }
 
 impl Database {
@@ -203,6 +206,7 @@ impl Database {
             tracer: None,
             pending_resume: None,
             session_id: 0,
+            views: Vec::new(),
         }
     }
 

@@ -31,6 +31,7 @@ pub mod db;
 pub mod display;
 pub mod error;
 pub mod explain;
+pub mod ivm;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
@@ -43,6 +44,7 @@ pub use ast::{Expr, FromItem, SelectStmt, Subquery, UnionMode, WithPlus};
 pub use compile::{compile, CompiledWithPlus};
 pub use db::{Database, ExplainOutput, METRICS_TABLE, QUERY_LOG_TABLE};
 pub use error::{Result, WithPlusError};
+pub use ivm::{EdgeDelta, RefreshMode, RefreshReport, ResultDelta, ViewClass};
 pub use parser::{Parser, Statement};
 pub use psm::{IterStat, QueryResult, RunStats, SubqueryIterStat};
 pub use session::{

@@ -84,10 +84,10 @@ pub struct QueryResult {
 
 /// Hard cap when no `maxrecursion` is given (SQL-Server's limit, which the
 /// paper adopts).
-const DEFAULT_MAX_RECURSION: usize = 32_767;
+pub(crate) const DEFAULT_MAX_RECURSION: usize = 32_767;
 
 /// Re-shape a query result to the declared column names of a temp table.
-fn rename_to(rel: Relation, names: &[String]) -> Result<Relation> {
+pub(crate) fn rename_to(rel: Relation, names: &[String]) -> Result<Relation> {
     if rel.schema().arity() != names.len() {
         return Err(WithPlusError::Restriction(format!(
             "result has {} columns, expected {} ({})",
@@ -109,7 +109,7 @@ fn rename_to(rel: Relation, names: &[String]) -> Result<Relation> {
 
 /// Rewrite direct scans of `rec` to scan `replacement` instead, keeping the
 /// original name as the alias so qualified references still resolve.
-fn rebind_scan(plan: &Plan, rec: &str, replacement: &str) -> Plan {
+pub(crate) fn rebind_scan(plan: &Plan, rec: &str, replacement: &str) -> Plan {
     let rebox = |p: &Plan| Box::new(rebind_scan(p, rec, replacement));
     match plan {
         Plan::Scan { table, alias } if table.eq_ignore_ascii_case(rec) => Plan::Scan {
@@ -205,7 +205,7 @@ fn rebind_scan(plan: &Plan, rec: &str, replacement: &str) -> Plan {
 
 /// Multiset count of rows in `after` that are not covered by `before` —
 /// i.e. how many rows union-by-update inserted or overwrote.
-fn changed_row_count(before: &Relation, after: &Relation) -> usize {
+pub(crate) fn changed_row_count(before: &Relation, after: &Relation) -> usize {
     let mut counts: HashMap<&Row, i64> = HashMap::new();
     for r in before.rows() {
         *counts.entry(r).or_insert(0) += 1;
@@ -460,6 +460,12 @@ impl<'a> PsmRunner<'a> {
                 });
             }
             let mut r0 = init_rel.expect("validated: at least one initial subquery");
+            // `union` keeps the recursive relation a set; duplicate rows
+            // from the initial subqueries (e.g. multi-edges) must not
+            // survive either, per SQL's distinct-union semantics.
+            if matches!(c.union, UnionMode::Distinct) {
+                r0 = ops::distinct(&r0);
+            }
             // union-by-update keys double as the primary key of R
             if let UnionMode::ByUpdate(Some(keys)) = &c.union {
                 let pk: Vec<usize> = keys

@@ -372,6 +372,207 @@ fn session_crash_sweep_exhaustive() {
     session_sweep(1);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental-view crash points
+// ---------------------------------------------------------------------------
+
+use aio_testkit::corpus::rebuild;
+use aio_testkit::ivm::{apply_batch, e_delta, e_rows, scripts_for, view_sql, IVM_EPSILON};
+use all_in_one::withplus::EdgeDelta;
+
+const IVM_ALGO: &str = "wcc";
+const IVM_VIEW: &str = "w";
+
+/// The live-graph crash fixture: a small uniform digraph and its `churn`
+/// mutation script (each batch mixes inserts with deletions, so the view
+/// refreshes cross both the frontier fast path and the full fallback),
+/// expanded into the per-prefix E-table states, the [`EdgeDelta`]s between
+/// them, and the cold view materialization for every prefix.
+struct IvmFixture {
+    v: Relation,
+    /// Sorted E-table rows after 0, 1, …, all batches.
+    states: Vec<Vec<Row>>,
+    /// `deltas[i]` turns `states[i]` into `states[i + 1]`.
+    deltas: Vec<EdgeDelta>,
+    /// Sorted cold view rows per prefix.
+    views: Vec<Vec<Row>>,
+}
+
+fn sorted(rel: &Relation) -> Vec<Row> {
+    let mut rows: Vec<Row> = rel.iter().cloned().collect();
+    rows.sort();
+    rows
+}
+
+/// Cold recompute of the view over one E-table state (fresh in-memory db).
+fn cold_view_rows(v: &Relation, e_state: &[Row]) -> Vec<Row> {
+    let (mut db, _) =
+        Database::open_with_vfs(Arc::new(SimVfs::new()), DIR, oracle_like(), None).unwrap();
+    db.create_table("V", v.clone()).unwrap();
+    let mut e = Relation::new(all_in_one::storage::edge_schema());
+    e.rows_mut().extend(e_state.iter().cloned());
+    db.create_table("E", e).unwrap();
+    db.create_view_with(IVM_VIEW, view_sql(IVM_ALGO), IVM_EPSILON).unwrap();
+    sorted(db.view_relation(IVM_VIEW).unwrap())
+}
+
+fn ivm_fixture() -> IvmFixture {
+    let g = generate(GraphKind::Uniform, 12, 24, true, 77);
+    let script = scripts_for(&g, 77)
+        .into_iter()
+        .find(|s| s.name == "churn")
+        .expect("churn script");
+    let v = load::node_relation(&g);
+    let mut edges: Vec<(u32, u32, f64)> = g.edges().collect();
+    let mut cur = g.clone();
+    let mut states = vec![e_rows(&cur, IVM_ALGO)];
+    let mut deltas = Vec::new();
+    for b in &script.batches {
+        apply_batch(&mut edges, b).expect("script applies to its own graph");
+        let next = rebuild(g.node_count(), &edges, &g);
+        deltas.push(e_delta(&e_rows(&cur, IVM_ALGO), &e_rows(&next, IVM_ALGO)));
+        states.push(e_rows(&next, IVM_ALGO));
+        cur = next;
+    }
+    let views = states.iter().map(|s| cold_view_rows(&v, s)).collect();
+    for s in &mut states {
+        s.sort();
+    }
+    IvmFixture { v, states, deltas, views }
+}
+
+/// The maintained-view workload: open, load V and the base E (the base load
+/// goes through `apply_edges` too — one transaction, no views yet), create
+/// the wcc view, then apply every mutation batch, checkpointing once after
+/// the first so the sweep hits crash points on both sides of a checkpoint
+/// that includes view state.
+fn ivm_workload(vfs: Arc<SimVfs>, fx: &IvmFixture) -> all_in_one::withplus::Result<()> {
+    let (mut db, _report) = Database::open_with_vfs(vfs, DIR, oracle_like(), None)?;
+    db.create_table("V", fx.v.clone())?;
+    db.create_table("E", Relation::new(all_in_one::storage::edge_schema()))?;
+    db.apply_edges(vec![EdgeDelta::insert("E", fx.states[0].clone())])?;
+    db.create_view_with(IVM_VIEW, view_sql(IVM_ALGO), IVM_EPSILON)?;
+    for (i, d) in fx.deltas.iter().enumerate() {
+        db.apply_edges(vec![d.clone()])?;
+        if i == 0 {
+            db.checkpoint()?;
+        }
+    }
+    Ok(())
+}
+
+/// The mid-refresh crash invariant: recovery lands on a *per-batch
+/// generation* — base table and view table from the same prefix of the
+/// mutation script, never a torn mix — and that generation is live: the
+/// view re-attaches and replaying the remaining batches reaches the same
+/// final state as the uninterrupted run.
+fn check_ivm_crash_point(k: u64, fate: UnsyncedFate, fx: &IvmFixture) {
+    let ctx = format!("ivm crash at op {k}, fate {fate:?}");
+    let vfs = Arc::new(SimVfs::new());
+    vfs.set_crash_at(k);
+    let run = ivm_workload(vfs.clone(), fx);
+    if !vfs.has_crashed() {
+        run.unwrap_or_else(|e| panic!("{ctx}: run failed without crashing: {e}"));
+    }
+
+    // Recovery is total on the crash image.
+    let img = Arc::new(vfs.crash_image(fate));
+    let (mut db, report) = Database::open_with_vfs(img, DIR, oracle_like(), None)
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+    if report.interrupted.is_some() {
+        db.resume_interrupted()
+            .unwrap_or_else(|e| panic!("{ctx}: resume failed: {e}"));
+    }
+    if !db.catalog.contains("E") {
+        return; // crashed before the base tables were durably created
+    }
+    let e = sorted(db.catalog.relation("E").unwrap());
+    if e.is_empty() {
+        return; // crashed between table creation and the base load
+    }
+
+    // Atomic batches: the recovered E is exactly one per-batch generation.
+    let prefix = fx
+        .states
+        .iter()
+        .position(|s| *s == e)
+        .unwrap_or_else(|| {
+            panic!("{ctx}: recovered E ({} rows) is not a per-batch generation", e.len())
+        });
+
+    // Never torn: a materialized view matches the cold recompute for
+    // exactly that generation — the view tables commit in the same WAL
+    // transaction as the base delta that triggered the refresh.
+    let had_view = db.catalog.contains(IVM_VIEW);
+    if had_view {
+        let w = sorted(db.catalog.relation(IVM_VIEW).unwrap());
+        assert_eq!(
+            w, fx.views[prefix],
+            "{ctx}: view is torn: not the prefix-{prefix} materialization"
+        );
+    }
+
+    // The generation is live: re-attach (or rebuild, when the crash
+    // predates the view) and replay the rest of the script to the end.
+    db.register_view(IVM_VIEW, view_sql(IVM_ALGO), IVM_EPSILON)
+        .unwrap_or_else(|e| panic!("{ctx}: view re-attach failed: {e}"));
+    for d in &fx.deltas[prefix..] {
+        db.apply_edges(vec![d.clone()])
+            .unwrap_or_else(|e| panic!("{ctx}: post-recovery batch failed: {e}"));
+    }
+    assert_eq!(
+        sorted(db.view_relation(IVM_VIEW).unwrap()),
+        *fx.views.last().unwrap(),
+        "{ctx}: replayed run diverges from the uninterrupted baseline"
+    );
+}
+
+fn ivm_sweep(stride: u64) {
+    let fx = ivm_fixture();
+    let vfs = Arc::new(SimVfs::new());
+    ivm_workload(vfs.clone(), &fx).expect("counting run must succeed");
+    let total = vfs.op_count();
+    assert!(total > 40, "ivm workload too small to be interesting: {total} ops");
+    let fates = [
+        UnsyncedFate::DropAll,
+        UnsyncedFate::KeepAll,
+        UnsyncedFate::Torn(0x5EED),
+    ];
+    let mut points = 0u64;
+    let mut k = 1;
+    while k <= total {
+        for fate in fates {
+            check_ivm_crash_point(k, fate, &fx);
+        }
+        points += 1;
+        k += stride;
+    }
+    eprintln!(
+        "ivm crash sweep: {points} crash points × {} fates over {total} ops",
+        fates.len()
+    );
+}
+
+/// Tier-1: strided maintained-view sweep (`AIO_IVM_CRASH_STRIDE` to tune;
+/// default 3).
+#[test]
+fn ivm_crash_sweep_strided() {
+    let stride = std::env::var("AIO_IVM_CRASH_STRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(3);
+    ivm_sweep(stride);
+}
+
+/// Exhaustive: every mutating operation is a crash point while views are
+/// being maintained (`./ci.sh full`).
+#[test]
+#[ignore = "exhaustive ivm crash sweep: run via ./ci.sh full"]
+fn ivm_crash_sweep_exhaustive() {
+    ivm_sweep(1);
+}
+
 /// A crash *between* statements (clean shutdown without checkpoint) loses
 /// nothing that was committed.
 #[test]
